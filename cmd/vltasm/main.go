@@ -1,0 +1,46 @@
+// Command vltasm assembles a textual program into a binary program image
+// that cmd/vltrun executes and cmd/vltdis disassembles.
+//
+// Usage:
+//
+//	vltasm [-o prog.vltp] prog.vasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vlt/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output image path (default: input with .vltp)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "vltasm: usage: vltasm [-o out.vltp] prog.vasm")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltasm:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.ParseText(in, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltasm:", err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = strings.TrimSuffix(in, ".vasm") + ".vltp"
+	}
+	if err := os.WriteFile(path, prog.SaveImage(), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "vltasm:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d instructions, %d data segments, %d symbols -> %s\n",
+		prog.Name, len(prog.Code), len(prog.Segments), len(prog.Symbols), path)
+}

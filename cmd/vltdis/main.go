@@ -1,0 +1,33 @@
+// Command vltdis disassembles a binary program image (produced by
+// cmd/vltasm) back into assembly text that cmd/vltasm accepts.
+//
+// Usage:
+//
+//	vltdis prog.vltp
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"vlt/internal/asm"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "vltdis: usage: vltdis prog.vltp")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltdis:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.LoadImage(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltdis:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# program %q: %d instructions\n", prog.Name, len(prog.Code))
+	fmt.Print(prog.Disassemble())
+}

@@ -1,0 +1,132 @@
+// Command vltexp regenerates the tables and figures of "Vector Lane
+// Threading" (ICPP 2006) on this repository's simulator.
+//
+// Usage:
+//
+//	vltexp [-scale N] [-fig 1|3|4|5|6] [-tab 1|2|3|4] [-all]
+//
+// Without flags it prints everything (equivalent to -all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vlt"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "problem size multiplier")
+	fig := flag.Int("fig", 0, "print one figure (1, 3, 4, 5 or 6)")
+	tab := flag.Int("tab", 0, "print one table (1, 2, 3 or 4)")
+	ext := flag.Bool("ext", false, "print the extension studies (16 lanes, phase switching)")
+	jsonOut := flag.Bool("json", false, "emit every result as JSON (for plotting scripts)")
+	all := flag.Bool("all", false, "print every table and figure")
+	flag.Parse()
+
+	if *fig == 0 && *tab == 0 && !*ext && !*jsonOut {
+		*all = true
+	}
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "vltexp:", err)
+		os.Exit(1)
+	}
+	printFig := func(n int) {
+		switch n {
+		case 1:
+			d, err := vlt.Figure1(*scale)
+			if err != nil {
+				die(err)
+			}
+			fmt.Println(d)
+		case 3:
+			d, err := vlt.Figure3(*scale)
+			if err != nil {
+				die(err)
+			}
+			fmt.Println(d)
+		case 4:
+			d, err := vlt.Figure4(*scale)
+			if err != nil {
+				die(err)
+			}
+			fmt.Println(d)
+		case 5:
+			d, err := vlt.Figure5(*scale)
+			if err != nil {
+				die(err)
+			}
+			fmt.Println(d)
+		case 6:
+			d, err := vlt.Figure6(*scale)
+			if err != nil {
+				die(err)
+			}
+			fmt.Println(d)
+		default:
+			die(fmt.Errorf("no figure %d (the paper's evaluation has figures 1, 3, 4, 5, 6)", n))
+		}
+	}
+	printTab := func(n int) {
+		switch n {
+		case 1:
+			fmt.Println(vlt.Table1String())
+		case 2:
+			fmt.Println(vlt.Table2String())
+		case 3:
+			fmt.Println(vlt.Table3String())
+		case 4:
+			s, err := vlt.Table4String(*scale)
+			if err != nil {
+				die(err)
+			}
+			fmt.Println(s)
+		default:
+			die(fmt.Errorf("no table %d (tables 1-4)", n))
+		}
+	}
+
+	printExt := func() {
+		d16, err := vlt.Extension16Lanes(*scale)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(d16)
+		dps, err := vlt.ExtensionPhaseSwitching(*scale)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(dps)
+	}
+
+	if *jsonOut {
+		data, err := vlt.MarshalAll(*scale)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	if *all {
+		for _, n := range []int{1, 2, 3, 4} {
+			printTab(n)
+		}
+		for _, n := range []int{1, 3, 4, 5, 6} {
+			printFig(n)
+		}
+		printExt()
+		return
+	}
+	if *fig != 0 {
+		printFig(*fig)
+	}
+	if *tab != 0 {
+		printTab(*tab)
+	}
+	if *ext {
+		printExt()
+	}
+}

@@ -1,0 +1,188 @@
+// Command vltrun assembles a textual program (the syntax of
+// internal/asm.ParseText) and runs it on a simulated machine, printing
+// cycle counts and, on request, register/memory state and a retirement
+// trace.
+//
+// Usage:
+//
+//	vltrun [-machine base] [-threads N] [-trace] [-dump sym,sym] prog.vasm
+//
+// Example program:
+//
+//	.data tbl 1 2 3 4 5 6 7 8
+//	.alloc out 1
+//	    movi r1, 8
+//	    setvl r2, r1
+//	    movi r3, &tbl
+//	    vld v1, (r3)
+//	    vredsum r4, v1
+//	    movi r5, &out
+//	    st r4, 0(r5)
+//	    halt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vlt/internal/asm"
+	"vlt/internal/core"
+	"vlt/internal/scalar"
+)
+
+func main() {
+	machine := flag.String("machine", "base", "machine: base, V2-CMP, V4-CMT, CMT, VLT-scalar, ...")
+	threads := flag.Int("threads", 1, "software thread count")
+	lanes := flag.Int("lanes", 8, "lane count (base machine)")
+	trace := flag.Bool("trace", false, "print a retirement trace to stderr")
+	pipeview := flag.Bool("pipeview", false, "print a per-instruction pipeline timeline to stderr")
+	chrome := flag.String("chrometrace", "", "write a chrome://tracing JSON trace to this file")
+	dump := flag.String("dump", "", "comma-separated data symbols to dump after the run")
+	regs := flag.Bool("regs", false, "dump thread 0's integer registers")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "vltrun: usage: vltrun [flags] prog.vasm")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltrun:", err)
+		os.Exit(1)
+	}
+	// Accept both binary images (vltasm output) and assembly text.
+	var prog *asm.Program
+	if len(src) >= 4 && string(src[:4]) == "VLTP" {
+		prog, err = asm.LoadImage(src)
+	} else {
+		prog, err = asm.ParseText(flag.Arg(0), string(src))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltrun:", err)
+		os.Exit(1)
+	}
+
+	cfg, err := machineConfig(*machine, *lanes, *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltrun:", err)
+		os.Exit(1)
+	}
+	m, err := core.NewMachine(cfg, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltrun:", err)
+		os.Exit(1)
+	}
+	if *trace {
+		m.SetTrace(os.Stderr)
+	}
+	if *pipeview {
+		m.SetPipeView(os.Stderr)
+	}
+	var chromeFile *os.File
+	var chromeTracer *core.ChromeTracer
+	if *chrome != "" {
+		chromeFile, err = os.Create(*chrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vltrun:", err)
+			os.Exit(1)
+		}
+		chromeTracer = core.NewChromeTracer(chromeFile)
+		m.SetChromeTrace(chromeTracer)
+	}
+	res, err := m.Run()
+	if chromeTracer != nil {
+		if cerr := chromeTracer.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "vltrun: trace:", cerr)
+		}
+		chromeFile.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltrun:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("machine: %s  threads: %d\n", cfg.Name, cfg.NumThreads)
+	fmt.Printf("cycles:  %d   instructions: %d   IPC: %.2f\n",
+		res.Cycles, res.Retired, float64(res.Retired)/float64(res.Cycles))
+	if res.VecIssued > 0 {
+		fmt.Printf("vector:  %d instructions, %d element ops\n", res.VecIssued, res.VecElemOps)
+	}
+	if *regs {
+		th := m.VM().Thread(0)
+		for i := 0; i < 32; i += 4 {
+			fmt.Printf("r%-2d=%-16d r%-2d=%-16d r%-2d=%-16d r%-2d=%d\n",
+				i, int64(th.IntRegs[i]), i+1, int64(th.IntRegs[i+1]),
+				i+2, int64(th.IntRegs[i+2]), i+3, int64(th.IntRegs[i+3]))
+		}
+	}
+	if *dump != "" {
+		for _, sym := range strings.Split(*dump, ",") {
+			sym = strings.TrimSpace(sym)
+			addr, ok := prog.Symbols[sym]
+			if !ok {
+				fmt.Printf("%s: unknown symbol\n", sym)
+				continue
+			}
+			// Dump up to the next symbol or 16 words.
+			end := prog.DataEnd()
+			for _, a := range prog.Symbols {
+				if a > addr && a < end {
+					end = a
+				}
+			}
+			n := int((end - addr) / 8)
+			if n > 16 {
+				n = 16
+			}
+			fmt.Printf("%s @%#x:", sym, addr)
+			for i := 0; i < n; i++ {
+				fmt.Printf(" %d", m.VM().Mem.MustRead(addr+uint64(i)*8))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func machineConfig(name string, lanes, threads int) (core.Config, error) {
+	switch name {
+	case "base":
+		cfg := core.Base(lanes)
+		cfg.NumThreads = threads
+		cfg.InitialPartitions = threads
+		return cfg, nil
+	case "V2-SMT":
+		return withThreads(core.V2SMT(), threads), nil
+	case "V2-CMP":
+		return withThreads(core.V2CMP(), threads), nil
+	case "V2-CMP-h":
+		return withThreads(core.V2CMPh(), threads), nil
+	case "V4-SMT":
+		return withThreads(core.V4SMT(), threads), nil
+	case "V4-CMT":
+		return withThreads(core.V4CMT(), threads), nil
+	case "V4-CMP":
+		return withThreads(core.V4CMP(), threads), nil
+	case "V4-CMP-h":
+		return withThreads(core.V4CMPh(), threads), nil
+	case "CMT":
+		return core.CMT(threads), nil
+	case "VLT-scalar":
+		return core.VLTScalar(threads), nil
+	case "scalar":
+		// A single plain 4-way scalar core, handy for microbenchmarks.
+		return core.Config{
+			Name:       "scalar",
+			SUs:        []scalar.Config{scalar.Config4Way()},
+			NumThreads: threads,
+		}, nil
+	}
+	return core.Config{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func withThreads(cfg core.Config, threads int) core.Config {
+	cfg.NumThreads = threads
+	cfg.InitialPartitions = threads
+	return cfg
+}

@@ -1,0 +1,84 @@
+// Command vltsim runs one workload on one machine configuration and
+// prints timing, utilization and characterization statistics.
+//
+// Usage:
+//
+//	vltsim -workload mpenc -machine V2-CMP [-scale N] [-lanes N] [-threads N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vlt"
+)
+
+func main() {
+	workload := flag.String("workload", "", "workload name (see -list)")
+	machine := flag.String("machine", "base", "machine configuration")
+	scale := flag.Int("scale", 1, "problem size multiplier")
+	lanes := flag.Int("lanes", 0, "lane count override (base machine only)")
+	threads := flag.Int("threads", 0, "software thread count override")
+	list := flag.Bool("list", false, "list workloads and machines")
+	noVerify := flag.Bool("no-verify", false, "skip result verification")
+	verbose := flag.Bool("v", false, "print per-unit pipeline statistics")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(vlt.Workloads(), " "))
+		var ms []string
+		for _, m := range vlt.Machines() {
+			ms = append(ms, string(m))
+		}
+		fmt.Println("machines: ", strings.Join(ms, " "))
+		return
+	}
+	if *workload == "" {
+		fmt.Fprintln(os.Stderr, "vltsim: -workload is required (try -list)")
+		os.Exit(2)
+	}
+
+	res, err := vlt.Run(*workload, vlt.Machine(*machine), vlt.Options{
+		Scale: *scale, Lanes: *lanes, Threads: *threads, SkipVerify: *noVerify,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vltsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:        %s on %s (%d thread(s), scale %d)\n",
+		res.Workload, res.Machine, res.Threads, *scale)
+	fmt.Printf("cycles:          %d\n", res.Cycles)
+	fmt.Printf("instructions:    %d retired (IPC %.2f)\n", res.Retired, res.IPC())
+	fmt.Printf("vector:          %d instructions, %d element ops\n", res.VecIssued, res.VecElemOps)
+	if res.VecIssued > 0 {
+		fmt.Printf("datapaths:       busy %.1f%%  partly-idle %.1f%%  stalled %.1f%%  all-idle %.1f%%\n",
+			res.Util.BusyPct, res.Util.PartIdlePct, res.Util.StalledPct, res.Util.AllIdlePct)
+	}
+	fmt.Printf("characteristics: %%vect %.1f, avg VL %.1f, common VLs %v, opportunity %.1f%%\n",
+		res.PercentVect, res.AvgVL, res.CommonVLs, res.OpportunityPct)
+	if res.Verified {
+		fmt.Println("verification:    PASS (results match host reference)")
+	} else {
+		fmt.Println("verification:    skipped")
+	}
+	if *verbose {
+		for _, su := range res.SUs {
+			fmt.Printf("SU%d:  fetched %d  dispatched %d  issued %d  retired %d\n",
+				su.ID, su.Fetched, su.Dispatched, su.Issued, su.Retired)
+			fmt.Printf("      stalls: branch %d  icache %d  rob %d  window %d  viq %d\n",
+				su.FetchStallBranch, su.FetchStallICache,
+				su.DispStallROB, su.DispStallWindow, su.DispStallVIQ)
+			fmt.Printf("      bpred mispredict %.1f%%  L1I hit %.1f%%  L1D hit %.1f%%\n",
+				su.BranchMispredictPct, su.L1IHitPct, su.L1DHitPct)
+		}
+		for _, lc := range res.LaneCores {
+			fmt.Printf("lane%d: fetched %d  issued %d  retired %d  stalls: operand %d  memport %d\n",
+				lc.ID, lc.Fetched, lc.Issued, lc.Retired, lc.StallOperand, lc.StallMemPort)
+			fmt.Printf("       bpred mispredict %.1f%%  I$ hit %.1f%%\n",
+				lc.BranchMispredictPct, lc.ICacheHitPct)
+		}
+	}
+}

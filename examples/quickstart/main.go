@@ -1,0 +1,29 @@
+// Quickstart: run one short-vector workload on the base vector processor
+// and on a VLT configuration, and print the speedup — the paper's core
+// claim in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vlt"
+)
+
+func main() {
+	base, err := vlt.Run("mpenc", vlt.MachineBase, vlt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v4, err := vlt.Run("mpenc", vlt.MachineV4CMT, vlt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("mpenc on %-10s: %8d cycles (avg VL %.1f, %.0f%% vectorized)\n",
+		base.Machine, base.Cycles, base.AvgVL, base.PercentVect)
+	fmt.Printf("mpenc on %-10s: %8d cycles (4 vector threads, 2 lanes each)\n",
+		v4.Machine, v4.Cycles)
+	fmt.Printf("VLT speedup: %.2fx (results verified: %v)\n",
+		float64(base.Cycles)/float64(v4.Cycles), base.Verified && v4.Verified)
+}

@@ -1,0 +1,59 @@
+// Videoencode walks the paper's motivating scenario: a video encoder with
+// mixed data-level and thread-level parallelism. It characterizes the
+// workload (Table 4 style), shows why lanes alone do not help (Figure 1),
+// and then sweeps the VLT design space for it (Figures 3 and 5),
+// including the area price of each configuration (Table 2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vlt"
+)
+
+func main() {
+	// 1. Characterize the workload on the base 8-lane processor.
+	base, err := vlt.Run("mpenc", vlt.MachineBase, vlt.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== mpenc: video encoding on an 8-lane vector processor ==")
+	fmt.Printf("vectorized operations: %.0f%%   average vector length: %.1f (common: %v)\n",
+		base.PercentVect, base.AvgVL, base.CommonVLs)
+	fmt.Printf("VLT opportunity: %.0f%% of execution is threadable\n\n", base.OpportunityPct)
+
+	// 2. Adding lanes does not help an application with VL ~11.
+	fmt.Println("-- scaling lanes (single thread) --")
+	var oneLane uint64
+	for _, lanes := range []int{1, 2, 4, 8} {
+		r, err := vlt.Run("mpenc", vlt.MachineBase, vlt.Options{Lanes: lanes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if lanes == 1 {
+			oneLane = r.Cycles
+		}
+		fmt.Printf("%d lane(s): %8d cycles  (%.2fx vs 1 lane)\n",
+			lanes, r.Cycles, float64(oneLane)/float64(r.Cycles))
+	}
+
+	// 3. VLT turns the idle lanes into thread slots.
+	fmt.Println("\n-- VLT design space (speedup over 8-lane base, area over base) --")
+	areas := map[vlt.Machine]float64{}
+	for _, row := range vlt.Table2() {
+		areas[vlt.Machine(row.Config)] = row.OverheadPct
+	}
+	for _, m := range []vlt.Machine{
+		vlt.MachineV2SMT, vlt.MachineV2CMP,
+		vlt.MachineV4SMT, vlt.MachineV4CMT, vlt.MachineV4CMP,
+	} {
+		r, err := vlt.Run("mpenc", m, vlt.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s: %.2fx speedup at +%.1f%% area\n",
+			m, float64(base.Cycles)/float64(r.Cycles), areas[m])
+	}
+	fmt.Println("\nthe hybrid V4-CMT matches the fully replicated V4-CMP at a third of its area cost")
+}

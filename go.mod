@@ -1,0 +1,3 @@
+module vlt
+
+go 1.22

@@ -1,0 +1,128 @@
+// Package area implements the paper's first-order area model (Section
+// 4.2). Component areas are the paper's Table 1 estimates, derived from
+// Alpha-family die photos scaled to 0.10 µm CMOS; configuration overheads
+// (Table 2) are arithmetic over those components plus the published SMT
+// area penalties (6% for 2-way, 10% for 4-way multithreading within a
+// scalar processor).
+package area
+
+import "fmt"
+
+// Component areas in mm² at 0.10 µm (paper Table 1).
+const (
+	SU2Way     = 5.7   // 2-way scalar unit + L1 caches
+	SU4Way     = 20.9  // 4-way scalar unit + L1 caches
+	VCL2Way    = 2.1   // 2-way vector control logic
+	VectorLane = 6.1   // one vector lane
+	L2Cache4MB = 98.4  // 4 MB on-chip L2
+	BaseTotal  = 170.2 // base vector processor (4-way SU, 8 lanes)
+)
+
+// SMT area penalties within one scalar processor.
+const (
+	SMT2Penalty = 0.06
+	SMT4Penalty = 0.10
+)
+
+// BaseLanes is the lane count of the base processor.
+const BaseLanes = 8
+
+// Base returns the modeled area of the base vector processor: one 4-way
+// SU, the VCL, 8 lanes and the L2.
+func Base() float64 {
+	return SU4Way + VCL2Way + BaseLanes*VectorLane + L2Cache4MB
+}
+
+// SUKind identifies a scalar-unit flavor in a configuration.
+type SUKind struct {
+	Wide bool // 4-way (true) or 2-way (false)
+	SMT  int  // 1, 2 or 4 hardware contexts
+}
+
+// Area returns the scalar unit's area including its SMT penalty.
+func (k SUKind) Area() float64 {
+	base := SU2Way
+	if k.Wide {
+		base = SU4Way
+	}
+	switch k.SMT {
+	case 0, 1:
+		return base
+	case 2:
+		return base * (1 + SMT2Penalty)
+	case 4:
+		return base * (1 + SMT4Penalty)
+	default:
+		panic(fmt.Sprintf("area: unsupported SMT degree %d", k.SMT))
+	}
+}
+
+// Config describes a VLT processor configuration for area purposes.
+type Config struct {
+	Name string
+	SUs  []SUKind
+	// VectorUnit includes the lanes and VCL (true for all VLT configs;
+	// false for the scalar-only CMT baseline).
+	VectorUnit bool
+}
+
+// Area returns the configuration's total area in mm².
+func (c Config) Area() float64 {
+	total := L2Cache4MB
+	for _, su := range c.SUs {
+		total += su.Area()
+	}
+	if c.VectorUnit {
+		total += VCL2Way + BaseLanes*VectorLane
+	}
+	return total
+}
+
+// OverheadPct returns the percentage area increase over the base vector
+// processor.
+func (c Config) OverheadPct() float64 {
+	return 100 * (c.Area() - Base()) / Base()
+}
+
+// The paper's Table 2 configurations. All use a single multiplexed VCL.
+var (
+	// ConfigBase is the reference design: one 4-way SU, 8 lanes.
+	ConfigBase = Config{Name: "base", SUs: []SUKind{{Wide: true}}, VectorUnit: true}
+
+	// ConfigV2SMT: 2 VLT threads, 1 SMT-2 SU.
+	ConfigV2SMT = Config{Name: "V2-SMT", SUs: []SUKind{{Wide: true, SMT: 2}}, VectorUnit: true}
+
+	// ConfigV4SMT: 4 VLT threads, 1 SMT-4 SU.
+	ConfigV4SMT = Config{Name: "V4-SMT", SUs: []SUKind{{Wide: true, SMT: 4}}, VectorUnit: true}
+
+	// ConfigV2CMP: 2 VLT threads, 2 identical 4-way SUs.
+	ConfigV2CMP = Config{Name: "V2-CMP", SUs: []SUKind{{Wide: true}, {Wide: true}}, VectorUnit: true}
+
+	// ConfigV2CMPh: 2 VLT threads, heterogeneous SUs (4-way + 2-way).
+	ConfigV2CMPh = Config{Name: "V2-CMP-h", SUs: []SUKind{{Wide: true}, {Wide: false}}, VectorUnit: true}
+
+	// ConfigV4CMP: 4 VLT threads, 4 identical 4-way SUs.
+	ConfigV4CMP = Config{Name: "V4-CMP", SUs: []SUKind{
+		{Wide: true}, {Wide: true}, {Wide: true}, {Wide: true}}, VectorUnit: true}
+
+	// ConfigV4CMPh: 4 VLT threads, one 4-way and three 2-way SUs.
+	ConfigV4CMPh = Config{Name: "V4-CMP-h", SUs: []SUKind{
+		{Wide: true}, {Wide: false}, {Wide: false}, {Wide: false}}, VectorUnit: true}
+
+	// ConfigV4CMT: 4 VLT threads, two SMT-2 4-way SUs.
+	ConfigV4CMT = Config{Name: "V4-CMT", SUs: []SUKind{
+		{Wide: true, SMT: 2}, {Wide: true, SMT: 2}}, VectorUnit: true}
+
+	// ConfigCMT is V4-CMT without the vector unit (Section 5's scalar
+	// CMP baseline).
+	ConfigCMT = Config{Name: "CMT", SUs: []SUKind{
+		{Wide: true, SMT: 2}, {Wide: true, SMT: 2}}, VectorUnit: false}
+)
+
+// Table2 returns the paper's Table 2 rows in order.
+func Table2() []Config {
+	return []Config{
+		ConfigV2SMT, ConfigV4SMT, ConfigV2CMP, ConfigV2CMPh,
+		ConfigV4CMP, ConfigV4CMPh, ConfigV4CMT,
+	}
+}

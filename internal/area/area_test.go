@@ -1,0 +1,92 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestBaseMatchesPaperTotal(t *testing.T) {
+	// Table 1 lists the base vector processor at 170.2 mm²; the component
+	// sum must reproduce it exactly.
+	if got := Base(); !approx(got, BaseTotal, 0.05) {
+		t.Errorf("Base() = %.2f, want %.1f", got, BaseTotal)
+	}
+}
+
+func TestTable2Overheads(t *testing.T) {
+	// Paper Table 2 percentages (V4-CMP follows the Section 4.2 text,
+	// 37%; see EXPERIMENTS.md for the discrepancy with the table row).
+	cases := []struct {
+		cfg  Config
+		want float64
+		tol  float64
+	}{
+		{ConfigV2SMT, 0.8, 0.15},
+		{ConfigV4SMT, 1.3, 0.15},
+		{ConfigV2CMP, 12.3, 0.2},
+		{ConfigV2CMPh, 3.4, 0.2},
+		{ConfigV4CMP, 36.8, 0.3},
+		{ConfigV4CMPh, 10.1, 0.2},
+		{ConfigV4CMT, 13.8, 0.2},
+	}
+	for _, c := range cases {
+		if got := c.cfg.OverheadPct(); !approx(got, c.want, c.tol) {
+			t.Errorf("%s overhead = %.2f%%, want %.1f%%", c.cfg.Name, got, c.want)
+		}
+	}
+}
+
+func TestCMTSmallerThanV4CMT(t *testing.T) {
+	// Section 5: the CMT (no vector unit) is about 26% smaller than the
+	// VLT V4-CMT and smaller than the base design.
+	cmt := ConfigCMT.Area()
+	v4cmt := ConfigV4CMT.Area()
+	reduction := 100 * (v4cmt - cmt) / v4cmt
+	if !approx(reduction, 26.3, 1.0) {
+		t.Errorf("CMT vs V4-CMT reduction = %.1f%%, want about 26%%", reduction)
+	}
+	if cmt >= Base() {
+		t.Errorf("CMT (%.1f) should be smaller than base (%.1f)", cmt, Base())
+	}
+}
+
+func TestSMTPenaltiesOrdered(t *testing.T) {
+	plain := SUKind{Wide: true}.Area()
+	smt2 := SUKind{Wide: true, SMT: 2}.Area()
+	smt4 := SUKind{Wide: true, SMT: 4}.Area()
+	if !(plain < smt2 && smt2 < smt4) {
+		t.Errorf("SMT penalties not monotonic: %f %f %f", plain, smt2, smt4)
+	}
+}
+
+func TestUnsupportedSMTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for SMT=3")
+		}
+	}()
+	SUKind{Wide: true, SMT: 3}.Area()
+}
+
+func TestTable2RowOrder(t *testing.T) {
+	rows := Table2()
+	wantNames := []string{"V2-SMT", "V4-SMT", "V2-CMP", "V2-CMP-h", "V4-CMP", "V4-CMP-h", "V4-CMT"}
+	if len(rows) != len(wantNames) {
+		t.Fatalf("Table2 has %d rows, want %d", len(rows), len(wantNames))
+	}
+	for i, r := range rows {
+		if r.Name != wantNames[i] {
+			t.Errorf("row %d = %s, want %s", i, r.Name, wantNames[i])
+		}
+	}
+}
+
+func TestL2DominatesArea(t *testing.T) {
+	// The paper notes L2 + lanes make up about 86% of the base design.
+	frac := (L2Cache4MB + BaseLanes*VectorLane) / Base()
+	if !approx(frac, 0.865, 0.01) {
+		t.Errorf("L2+lanes fraction = %.3f, want about 0.865", frac)
+	}
+}

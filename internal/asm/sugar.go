@@ -1,0 +1,207 @@
+package asm
+
+import (
+	"math"
+
+	"vlt/internal/isa"
+)
+
+// This file provides typed emit helpers so workload kernels read like
+// assembly listings. Register-register and register-immediate forms are
+// separate methods (the *I suffix).
+
+// --- scalar integer ---
+
+func (b *Builder) rrr(op isa.Op, rd, ra, rb isa.Reg) {
+	b.Emit(isa.Instruction{Op: op, Rd: rd, Ra: ra, Rb: rb})
+}
+
+func (b *Builder) rri(op isa.Op, rd, ra isa.Reg, imm int64) {
+	b.Emit(isa.Instruction{Op: op, Rd: rd, Ra: ra, HasImm: true, Imm: imm})
+}
+
+func (b *Builder) Add(rd, ra, rb isa.Reg)         { b.rrr(isa.OpAdd, rd, ra, rb) }
+func (b *Builder) AddI(rd, ra isa.Reg, imm int64) { b.rri(isa.OpAdd, rd, ra, imm) }
+func (b *Builder) Sub(rd, ra, rb isa.Reg)         { b.rrr(isa.OpSub, rd, ra, rb) }
+func (b *Builder) SubI(rd, ra isa.Reg, imm int64) { b.rri(isa.OpSub, rd, ra, imm) }
+func (b *Builder) Mul(rd, ra, rb isa.Reg)         { b.rrr(isa.OpMul, rd, ra, rb) }
+func (b *Builder) MulI(rd, ra isa.Reg, imm int64) { b.rri(isa.OpMul, rd, ra, imm) }
+func (b *Builder) Div(rd, ra, rb isa.Reg)         { b.rrr(isa.OpDiv, rd, ra, rb) }
+func (b *Builder) Rem(rd, ra, rb isa.Reg)         { b.rrr(isa.OpRem, rd, ra, rb) }
+func (b *Builder) RemI(rd, ra isa.Reg, imm int64) { b.rri(isa.OpRem, rd, ra, imm) }
+func (b *Builder) And(rd, ra, rb isa.Reg)         { b.rrr(isa.OpAnd, rd, ra, rb) }
+func (b *Builder) AndI(rd, ra isa.Reg, imm int64) { b.rri(isa.OpAnd, rd, ra, imm) }
+func (b *Builder) Or(rd, ra, rb isa.Reg)          { b.rrr(isa.OpOr, rd, ra, rb) }
+func (b *Builder) Xor(rd, ra, rb isa.Reg)         { b.rrr(isa.OpXor, rd, ra, rb) }
+func (b *Builder) Sll(rd, ra, rb isa.Reg)         { b.rrr(isa.OpSll, rd, ra, rb) }
+func (b *Builder) SllI(rd, ra isa.Reg, imm int64) { b.rri(isa.OpSll, rd, ra, imm) }
+func (b *Builder) Srl(rd, ra, rb isa.Reg)         { b.rrr(isa.OpSrl, rd, ra, rb) }
+func (b *Builder) SrlI(rd, ra isa.Reg, imm int64) { b.rri(isa.OpSrl, rd, ra, imm) }
+func (b *Builder) SraI(rd, ra isa.Reg, imm int64) { b.rri(isa.OpSra, rd, ra, imm) }
+func (b *Builder) Slt(rd, ra, rb isa.Reg)         { b.rrr(isa.OpSlt, rd, ra, rb) }
+func (b *Builder) SltI(rd, ra isa.Reg, imm int64) { b.rri(isa.OpSlt, rd, ra, imm) }
+func (b *Builder) Sltu(rd, ra, rb isa.Reg)        { b.rrr(isa.OpSltu, rd, ra, rb) }
+func (b *Builder) Seq(rd, ra, rb isa.Reg)         { b.rrr(isa.OpSeq, rd, ra, rb) }
+
+// MovI loads a 64-bit immediate. MovA loads a data address.
+func (b *Builder) MovI(rd isa.Reg, imm int64) {
+	b.Emit(isa.Instruction{Op: isa.OpMovI, Rd: rd, Imm: imm})
+}
+func (b *Builder) MovA(rd isa.Reg, addr uint64) { b.MovI(rd, int64(addr)) }
+func (b *Builder) Mov(rd, ra isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpMov, Rd: rd, Ra: ra})
+}
+
+// --- scalar floating point ---
+
+func (b *Builder) FAdd(fd, fa, fb isa.Reg) { b.rrr(isa.OpFAdd, fd, fa, fb) }
+func (b *Builder) FSub(fd, fa, fb isa.Reg) { b.rrr(isa.OpFSub, fd, fa, fb) }
+func (b *Builder) FMul(fd, fa, fb isa.Reg) { b.rrr(isa.OpFMul, fd, fa, fb) }
+func (b *Builder) FDiv(fd, fa, fb isa.Reg) { b.rrr(isa.OpFDiv, fd, fa, fb) }
+func (b *Builder) FMin(fd, fa, fb isa.Reg) { b.rrr(isa.OpFMin, fd, fa, fb) }
+func (b *Builder) FMax(fd, fa, fb isa.Reg) { b.rrr(isa.OpFMax, fd, fa, fb) }
+func (b *Builder) FSqrt(fd, fa isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpFSqrt, Rd: fd, Ra: fa})
+}
+func (b *Builder) FNeg(fd, fa isa.Reg) { b.Emit(isa.Instruction{Op: isa.OpFNeg, Rd: fd, Ra: fa}) }
+func (b *Builder) FAbs(fd, fa isa.Reg) { b.Emit(isa.Instruction{Op: isa.OpFAbs, Rd: fd, Ra: fa}) }
+func (b *Builder) FMov(fd, fa isa.Reg) { b.Emit(isa.Instruction{Op: isa.OpFMov, Rd: fd, Ra: fa}) }
+func (b *Builder) FMovI(fd isa.Reg, v float64) {
+	b.Emit(isa.Instruction{Op: isa.OpFMovI, Rd: fd, Imm: int64(math.Float64bits(v))})
+}
+func (b *Builder) CvtIF(fd, ra isa.Reg)   { b.Emit(isa.Instruction{Op: isa.OpCvtIF, Rd: fd, Ra: ra}) }
+func (b *Builder) CvtFI(rd, fa isa.Reg)   { b.Emit(isa.Instruction{Op: isa.OpCvtFI, Rd: rd, Ra: fa}) }
+func (b *Builder) FLt(rd, fa, fb isa.Reg) { b.rrr(isa.OpFLt, rd, fa, fb) }
+func (b *Builder) FLe(rd, fa, fb isa.Reg) { b.rrr(isa.OpFLe, rd, fa, fb) }
+
+// --- control flow ---
+
+func (b *Builder) branch(op isa.Op, ra, rb isa.Reg, l *Label) {
+	b.emitBranch(isa.Instruction{Op: op, Ra: ra, Rb: rb}, l)
+}
+
+func (b *Builder) Beq(ra, rb isa.Reg, l *Label)  { b.branch(isa.OpBeq, ra, rb, l) }
+func (b *Builder) Bne(ra, rb isa.Reg, l *Label)  { b.branch(isa.OpBne, ra, rb, l) }
+func (b *Builder) Blt(ra, rb isa.Reg, l *Label)  { b.branch(isa.OpBlt, ra, rb, l) }
+func (b *Builder) Bge(ra, rb isa.Reg, l *Label)  { b.branch(isa.OpBge, ra, rb, l) }
+func (b *Builder) Bltu(ra, rb isa.Reg, l *Label) { b.branch(isa.OpBltu, ra, rb, l) }
+func (b *Builder) J(l *Label)                    { b.emitBranch(isa.Instruction{Op: isa.OpJ}, l) }
+func (b *Builder) Jal(rd isa.Reg, l *Label) {
+	b.emitBranch(isa.Instruction{Op: isa.OpJal, Rd: rd}, l)
+}
+func (b *Builder) Jr(ra isa.Reg) { b.Emit(isa.Instruction{Op: isa.OpJr, Ra: ra}) }
+
+// --- scalar memory ---
+
+func (b *Builder) Ld(rd, ra isa.Reg, off int64) {
+	b.Emit(isa.Instruction{Op: isa.OpLd, Rd: rd, Ra: ra, Imm: off})
+}
+func (b *Builder) St(rd, ra isa.Reg, off int64) {
+	b.Emit(isa.Instruction{Op: isa.OpSt, Rd: rd, Ra: ra, Imm: off})
+}
+func (b *Builder) FLd(fd, ra isa.Reg, off int64) {
+	b.Emit(isa.Instruction{Op: isa.OpFLd, Rd: fd, Ra: ra, Imm: off})
+}
+func (b *Builder) FSt(fd, ra isa.Reg, off int64) {
+	b.Emit(isa.Instruction{Op: isa.OpFSt, Rd: fd, Ra: ra, Imm: off})
+}
+
+// --- system ---
+
+func (b *Builder) Nop()  { b.Emit(isa.Instruction{Op: isa.OpNop}) }
+func (b *Builder) Halt() { b.Emit(isa.Instruction{Op: isa.OpHalt}) }
+func (b *Builder) Bar()  { b.Emit(isa.Instruction{Op: isa.OpBar}) }
+
+// Mark tags the following code as belonging to region id (0 = serial,
+// >0 = parallel/VLT-amenable). Used to measure the paper's "% opportunity".
+func (b *Builder) Mark(id int64) { b.Emit(isa.Instruction{Op: isa.OpMark, Imm: id}) }
+
+// VltCfg requests repartitioning of the vector lanes into n thread
+// partitions. Must only be executed inside a barrier-delimited region where
+// no vector register holds a live value, as in the paper.
+func (b *Builder) VltCfg(n int64) { b.Emit(isa.Instruction{Op: isa.OpVltCfg, Imm: n}) }
+
+// --- vector ---
+
+func (b *Builder) SetVL(rd, ra isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpSetVL, Rd: rd, Ra: ra})
+}
+
+func (b *Builder) vvv(op isa.Op, vd, va, vb isa.Reg) {
+	b.Emit(isa.Instruction{Op: op, Rd: vd, Ra: va, Rb: vb})
+}
+
+func (b *Builder) vvs(op isa.Op, vd, va, rb isa.Reg) {
+	b.Emit(isa.Instruction{Op: op, Rd: vd, Ra: va, Rb: rb, BScalar: true})
+}
+
+func (b *Builder) VAdd(vd, va, vb isa.Reg)     { b.vvv(isa.OpVAdd, vd, va, vb) }
+func (b *Builder) VAddS(vd, va, rb isa.Reg)    { b.vvs(isa.OpVAdd, vd, va, rb) }
+func (b *Builder) VSub(vd, va, vb isa.Reg)     { b.vvv(isa.OpVSub, vd, va, vb) }
+func (b *Builder) VSubS(vd, va, rb isa.Reg)    { b.vvs(isa.OpVSub, vd, va, rb) }
+func (b *Builder) VMul(vd, va, vb isa.Reg)     { b.vvv(isa.OpVMul, vd, va, vb) }
+func (b *Builder) VMulS(vd, va, rb isa.Reg)    { b.vvs(isa.OpVMul, vd, va, rb) }
+func (b *Builder) VAnd(vd, va, vb isa.Reg)     { b.vvv(isa.OpVAnd, vd, va, vb) }
+func (b *Builder) VAndS(vd, va, rb isa.Reg)    { b.vvs(isa.OpVAnd, vd, va, rb) }
+func (b *Builder) VOr(vd, va, vb isa.Reg)      { b.vvv(isa.OpVOr, vd, va, vb) }
+func (b *Builder) VXor(vd, va, vb isa.Reg)     { b.vvv(isa.OpVXor, vd, va, vb) }
+func (b *Builder) VSllS(vd, va, rb isa.Reg)    { b.vvs(isa.OpVSll, vd, va, rb) }
+func (b *Builder) VSrlS(vd, va, rb isa.Reg)    { b.vvs(isa.OpVSrl, vd, va, rb) }
+func (b *Builder) VAbsDiff(vd, va, vb isa.Reg) { b.vvv(isa.OpVAbsDiff, vd, va, vb) }
+func (b *Builder) VMax(vd, va, vb isa.Reg)     { b.vvv(isa.OpVMax, vd, va, vb) }
+func (b *Builder) VMin(vd, va, vb isa.Reg)     { b.vvv(isa.OpVMin, vd, va, vb) }
+func (b *Builder) VFAdd(vd, va, vb isa.Reg)    { b.vvv(isa.OpVFAdd, vd, va, vb) }
+func (b *Builder) VFAddS(vd, va, fb isa.Reg)   { b.vvs(isa.OpVFAdd, vd, va, fb) }
+func (b *Builder) VFSub(vd, va, vb isa.Reg)    { b.vvv(isa.OpVFSub, vd, va, vb) }
+func (b *Builder) VFMul(vd, va, vb isa.Reg)    { b.vvv(isa.OpVFMul, vd, va, vb) }
+func (b *Builder) VFMulS(vd, va, fb isa.Reg)   { b.vvs(isa.OpVFMul, vd, va, fb) }
+func (b *Builder) VFDiv(vd, va, vb isa.Reg)    { b.vvv(isa.OpVFDiv, vd, va, vb) }
+func (b *Builder) VFMA(vd, va, vb, vc isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVFMA, Rd: vd, Ra: va, Rb: vb, Rc: vc})
+}
+func (b *Builder) VFMAS(vd, va, fb, vc isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVFMA, Rd: vd, Ra: va, Rb: fb, Rc: vc, BScalar: true})
+}
+
+func (b *Builder) VBcastI(vd, ra isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVBcastI, Rd: vd, Ra: ra})
+}
+func (b *Builder) VBcastF(vd, fa isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVBcastF, Rd: vd, Ra: fa})
+}
+func (b *Builder) VIota(vd isa.Reg) { b.Emit(isa.Instruction{Op: isa.OpVIota, Rd: vd}) }
+func (b *Builder) VMov(vd, va isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVMov, Rd: vd, Ra: va})
+}
+
+func (b *Builder) VRedSum(rd, va isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVRedSum, Rd: rd, Ra: va})
+}
+func (b *Builder) VRedMax(rd, va isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVRedMax, Rd: rd, Ra: va})
+}
+func (b *Builder) VFRedSum(fd, va isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVFRedSum, Rd: fd, Ra: va})
+}
+func (b *Builder) VFRedMax(fd, va isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVFRedMax, Rd: fd, Ra: va})
+}
+
+func (b *Builder) VLd(vd, ra isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVLd, Rd: vd, Ra: ra})
+}
+func (b *Builder) VSt(vd, ra isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVSt, Rd: vd, Ra: ra})
+}
+func (b *Builder) VLdS(vd, ra, rb isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVLdS, Rd: vd, Ra: ra, Rb: rb})
+}
+func (b *Builder) VStS(vd, ra, rb isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVStS, Rd: vd, Ra: ra, Rb: rb})
+}
+func (b *Builder) VLdX(vd, ra, vb isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVLdX, Rd: vd, Ra: ra, Rb: vb})
+}
+func (b *Builder) VStX(vd, ra, vb isa.Reg) {
+	b.Emit(isa.Instruction{Op: isa.OpVStX, Rd: vd, Ra: ra, Rb: vb})
+}

@@ -1,0 +1,492 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"vlt/internal/isa"
+)
+
+// ParseText assembles a textual program. The syntax mirrors the
+// disassembler output of internal/isa plus labels and data directives:
+//
+//	# comment (also ;)
+//	.alloc buf 64          — reserve 64 zero words, symbol "buf"
+//	.data  tbl 1 2 3       — initialized words
+//	.dataf w   1.5 -2.0    — initialized float64 words
+//
+//	start:                 — code label
+//	    movi r1, 8
+//	    movi r2, &tbl      — &name takes a data symbol's address
+//	    setvl r3, r1
+//	    vld v1, (r2)
+//	    vadd.vs v2, v1, r1
+//	    beq r1, r0, start  — branch targets are labels (or @index)
+//	    halt
+//
+// Register operands use the disassembler's names (r0-r31, f0-f31,
+// v0-v31); the ".vs" suffix selects the vector-scalar form.
+func ParseText(name, source string) (*Program, error) {
+	b := NewBuilder(name)
+	labels := map[string]*Label{}
+	getLabel := func(n string) *Label {
+		if l, ok := labels[n]; ok {
+			return l
+		}
+		l := b.NewLabel(n)
+		labels[n] = l
+		return l
+	}
+
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("asm %q line %d: %s", name, lineNo+1, fmt.Sprintf(format, args...))
+		}
+
+		// Directives.
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".alloc":
+				if len(fields) != 3 {
+					return nil, fail(".alloc wants: .alloc name nwords")
+				}
+				n, err := strconv.Atoi(fields[2])
+				if err != nil || n < 0 {
+					return nil, fail("bad .alloc size %q", fields[2])
+				}
+				b.Alloc(fields[1], n)
+			case ".data":
+				if len(fields) < 2 {
+					return nil, fail(".data wants: .data name v0 v1 ...")
+				}
+				var words []uint64
+				for _, f := range fields[2:] {
+					v, err := strconv.ParseInt(f, 0, 64)
+					if err != nil {
+						return nil, fail("bad .data value %q", f)
+					}
+					words = append(words, uint64(v))
+				}
+				b.Data(fields[1], words)
+			case ".dataf":
+				if len(fields) < 2 {
+					return nil, fail(".dataf wants: .dataf name v0 v1 ...")
+				}
+				var vals []float64
+				for _, f := range fields[2:] {
+					v, err := strconv.ParseFloat(f, 64)
+					if err != nil {
+						return nil, fail("bad .dataf value %q", f)
+					}
+					vals = append(vals, v)
+				}
+				b.DataF(fields[1], vals)
+			default:
+				return nil, fail("unknown directive %q", fields[0])
+			}
+			continue
+		}
+
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,(") {
+				break
+			}
+			b.Bind(getLabel(line[:i]))
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+
+		if err := parseInstruction(b, line, getLabel); err != nil {
+			return nil, fail("%v", err)
+		}
+	}
+	return b.Assemble()
+}
+
+// opsByName maps mnemonics to opcodes.
+var opsByName = func() map[string]isa.Op {
+	m := make(map[string]isa.Op, isa.NumOps)
+	for op := isa.Op(1); int(op) < isa.NumOps; op++ {
+		if inf := op.Info(); inf.Name != "" {
+			m[inf.Name] = op
+		}
+	}
+	return m
+}()
+
+func parseInstruction(b *Builder, line string, getLabel func(string) *Label) error {
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	scalarForm := strings.HasSuffix(mnemonic, ".vs")
+	mnemonic = strings.TrimSuffix(mnemonic, ".vs")
+	op, ok := opsByName[mnemonic]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := splitOperands(rest)
+	info := op.Info()
+
+	// Unused register fields stay at their zero value, matching the
+	// programmatic Builder's composite literals.
+	in := isa.Instruction{Op: op, BScalar: scalarForm}
+
+	reg := func(s string) (isa.Reg, error) { return parseReg(s) }
+	imm := func(s string) (int64, error) {
+		if sym, ok := strings.CutPrefix(s, "&"); ok {
+			addr, found := b.symbols[sym]
+			if !found {
+				return 0, fmt.Errorf("unknown symbol %q (declare data before use)", sym)
+			}
+			return int64(addr), nil
+		}
+		return strconv.ParseInt(s, 0, 64)
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operand(s), got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	switch info.Format {
+	case isa.FmtNone:
+		switch op {
+		case isa.OpMark, isa.OpVltCfg:
+			if err := need(1); err != nil {
+				return err
+			}
+			v, err := imm(args[0])
+			if err != nil {
+				return err
+			}
+			in.Imm = v
+		default:
+			if err := need(0); err != nil {
+				return err
+			}
+		}
+	case isa.FmtRRR:
+		if err := need(3); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = reg(args[1]); err != nil {
+			return err
+		}
+		if r, rerr := reg(args[2]); rerr == nil {
+			in.Rb = r
+		} else {
+			v, ierr := imm(args[2])
+			if ierr != nil {
+				return fmt.Errorf("operand %q is neither register nor immediate", args[2])
+			}
+			in.HasImm = true
+			in.Imm = v
+		}
+	case isa.FmtRR, isa.FmtSetVL, isa.FmtVecRed:
+		if err := need(2); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = reg(args[1]); err != nil {
+			return err
+		}
+	case isa.FmtMovI:
+		if err := need(2); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = reg(args[0]); err != nil {
+			return err
+		}
+		if op == isa.OpFMovI {
+			f, ferr := strconv.ParseFloat(args[1], 64)
+			if ferr != nil {
+				return fmt.Errorf("bad float immediate %q", args[1])
+			}
+			in.Imm = int64(math.Float64bits(f))
+		} else if in.Imm, err = imm(args[1]); err != nil {
+			return err
+		}
+	case isa.FmtLoad, isa.FmtStore:
+		if err := need(2); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = reg(args[0]); err != nil {
+			return err
+		}
+		off, base, merr := parseMemOperand(args[1])
+		if merr != nil {
+			return merr
+		}
+		in.Ra = base
+		in.Imm = off
+	case isa.FmtBranch:
+		if err := need(3); err != nil {
+			return err
+		}
+		var err error
+		if in.Ra, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.Rb, err = reg(args[1]); err != nil {
+			return err
+		}
+		return emitControl(b, in, args[2], getLabel)
+	case isa.FmtJump:
+		if op == isa.OpJal {
+			if err := need(2); err != nil {
+				return err
+			}
+			var err error
+			if in.Rd, err = reg(args[0]); err != nil {
+				return err
+			}
+			return emitControl(b, in, args[1], getLabel)
+		}
+		if err := need(1); err != nil {
+			return err
+		}
+		return emitControl(b, in, args[0], getLabel)
+	case isa.FmtJumpReg:
+		if err := need(1); err != nil {
+			return err
+		}
+		var err error
+		if in.Ra, err = reg(args[0]); err != nil {
+			return err
+		}
+	case isa.FmtVec3:
+		if err := need(3); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = reg(args[1]); err != nil {
+			return err
+		}
+		if in.Rb, err = reg(args[2]); err != nil {
+			return err
+		}
+		if !scalarForm && in.Rb.IsScalar() {
+			in.BScalar = true // tolerate omitted .vs when the operand is scalar
+		}
+	case isa.FmtVecFMA:
+		if err := need(4); err != nil {
+			return err
+		}
+		var err error
+		if in.Rd, err = reg(args[0]); err != nil {
+			return err
+		}
+		if in.Ra, err = reg(args[1]); err != nil {
+			return err
+		}
+		if in.Rb, err = reg(args[2]); err != nil {
+			return err
+		}
+		if in.Rc, err = reg(args[3]); err != nil {
+			return err
+		}
+		if in.Rb.IsScalar() {
+			in.BScalar = true
+		}
+	case isa.FmtVecLoad, isa.FmtVecStore:
+		return parseVecMem(b, in, args)
+	case isa.FmtVecUnary:
+		switch op {
+		case isa.OpVIota:
+			if err := need(1); err != nil {
+				return err
+			}
+			var err error
+			if in.Rd, err = reg(args[0]); err != nil {
+				return err
+			}
+		default:
+			if err := need(2); err != nil {
+				return err
+			}
+			var err error
+			if in.Rd, err = reg(args[0]); err != nil {
+				return err
+			}
+			if in.Ra, err = reg(args[1]); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unsupported format for %q", mnemonic)
+	}
+	b.Emit(in)
+	return nil
+}
+
+func emitControl(b *Builder, in isa.Instruction, target string, getLabel func(string) *Label) error {
+	if idx, ok := strings.CutPrefix(target, "@"); ok {
+		v, err := strconv.ParseInt(idx, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad absolute target %q", target)
+		}
+		in.Imm = v
+		b.Emit(in)
+		return nil
+	}
+	b.emitBranch(in, getLabel(target))
+	return nil
+}
+
+// parseVecMem handles "vld v0, (r4)", "vlds v0, (r4), r5" and
+// "vldx v0, (r4+v6)" (and the store forms).
+func parseVecMem(b *Builder, in isa.Instruction, args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("%s wants a destination and an address", in.Op)
+	}
+	var err error
+	if in.Rd, err = parseReg(args[0]); err != nil {
+		return err
+	}
+	addr := args[1]
+	if !strings.HasPrefix(addr, "(") || !strings.HasSuffix(addr, ")") {
+		return fmt.Errorf("bad vector address %q", addr)
+	}
+	inner := addr[1 : len(addr)-1]
+	switch in.Op {
+	case isa.OpVLd, isa.OpVSt, isa.OpVLdS, isa.OpVStS:
+		if in.Ra, err = parseReg(inner); err != nil {
+			return err
+		}
+	case isa.OpVLdX, isa.OpVStX:
+		parts := strings.SplitN(inner, "+", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("indexed address %q wants (base+vindex)", addr)
+		}
+		if in.Ra, err = parseReg(strings.TrimSpace(parts[0])); err != nil {
+			return err
+		}
+		if in.Rb, err = parseReg(strings.TrimSpace(parts[1])); err != nil {
+			return err
+		}
+	}
+	switch in.Op {
+	case isa.OpVLdS, isa.OpVStS:
+		if len(args) != 3 {
+			return fmt.Errorf("%s wants a stride register", in.Op)
+		}
+		if in.Rb, err = parseReg(args[2]); err != nil {
+			return err
+		}
+	default:
+		if len(args) != 2 {
+			return fmt.Errorf("%s wants 2 operands", in.Op)
+		}
+	}
+	b.Emit(in)
+	return nil
+}
+
+// parseMemOperand parses "16(r2)" or "(r2)".
+func parseMemOperand(s string) (off int64, base isa.Reg, err error) {
+	i := strings.Index(s, "(")
+	if i < 0 || !strings.HasSuffix(s, ")") {
+		return 0, isa.RegNone, fmt.Errorf("bad memory operand %q", s)
+	}
+	if i > 0 {
+		off, err = strconv.ParseInt(s[:i], 0, 64)
+		if err != nil {
+			return 0, isa.RegNone, fmt.Errorf("bad offset in %q", s)
+		}
+	}
+	base, err = parseReg(s[i+1 : len(s)-1])
+	return off, base, err
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	s = strings.TrimSpace(s)
+	if s == "vl" {
+		return isa.RegVL, nil
+	}
+	if len(s) < 2 {
+		return isa.RegNone, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil {
+		return isa.RegNone, fmt.Errorf("bad register %q", s)
+	}
+	switch s[0] {
+	case 'r':
+		if n < 0 || n >= isa.NumIntRegs {
+			return isa.RegNone, fmt.Errorf("register %q out of range", s)
+		}
+		return isa.R(n), nil
+	case 'f':
+		if n < 0 || n >= isa.NumFPRegs {
+			return isa.RegNone, fmt.Errorf("register %q out of range", s)
+		}
+		return isa.F(n), nil
+	case 'v':
+		if n < 0 || n >= isa.NumVecRegs {
+			return isa.RegNone, fmt.Errorf("register %q out of range", s)
+		}
+		return isa.V(n), nil
+	}
+	return isa.RegNone, fmt.Errorf("bad register %q", s)
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	cur := strings.Builder{}
+	for _, r := range s {
+		switch {
+		case r == '(':
+			depth++
+			cur.WriteRune(r)
+		case r == ')':
+			depth--
+			cur.WriteRune(r)
+		case r == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package asm
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"vlt/internal/isa"
+)
+
+func TestParseTextBasicProgram(t *testing.T) {
+	src := `
+# sum the data array with a vector reduction
+.data tbl 1 2 3 4 5 6 7 8
+.alloc out 1
+
+start:
+    movi r1, 8
+    setvl r2, r1
+    movi r3, &tbl
+    vld v1, (r3)
+    vredsum r4, v1
+    movi r5, &out
+    st r4, 0(r5)
+    halt
+`
+	p, err := ParseText("basic", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 8 {
+		t.Fatalf("code length %d, want 8", len(p.Code))
+	}
+	if p.Code[2].Op != isa.OpMovI || p.Code[2].Imm != int64(p.Symbol("tbl")) {
+		t.Errorf("&tbl not resolved: %+v", p.Code[2])
+	}
+	if p.Code[3].Op != isa.OpVLd || p.Code[3].Rd != isa.V(1) || p.Code[3].Ra != isa.R(3) {
+		t.Errorf("vld parsed wrong: %+v", p.Code[3])
+	}
+	if p.Code[6].Op != isa.OpSt || p.Code[6].Imm != 0 {
+		t.Errorf("st parsed wrong: %+v", p.Code[6])
+	}
+}
+
+func TestParseTextLabelsAndBranches(t *testing.T) {
+	src := `
+    movi r1, 10
+loop:
+    sub r1, r1, 1
+    bne r1, r0, loop
+    j done
+    nop
+done: halt
+`
+	p, err := ParseText("branches", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[2].Op != isa.OpBne || p.Code[2].Imm != 1 {
+		t.Errorf("bne target = %d, want 1", p.Code[2].Imm)
+	}
+	if p.Code[3].Op != isa.OpJ || p.Code[3].Imm != 5 {
+		t.Errorf("j target = %d, want 5", p.Code[3].Imm)
+	}
+	// Immediate form of sub.
+	if !p.Code[1].HasImm || p.Code[1].Imm != 1 {
+		t.Errorf("sub immediate form wrong: %+v", p.Code[1])
+	}
+}
+
+func TestParseTextVectorForms(t *testing.T) {
+	src := `
+    vadd v1, v2, v3
+    vadd.vs v1, v2, r5
+    vfma v1, v2, f3, v4
+    vlds v0, (r4), r5
+    vldx v0, (r4+v6)
+    vstx v0, (r4+v6)
+    fmovi f1, 2.5
+    mark 3
+    vltcfg 4
+    halt
+`
+	p, err := ParseText("vec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].BScalar {
+		t.Error("vadd v,v,v should not be scalar form")
+	}
+	if !p.Code[1].BScalar || p.Code[1].Rb != isa.R(5) {
+		t.Errorf("vadd.vs wrong: %+v", p.Code[1])
+	}
+	if !p.Code[2].BScalar || p.Code[2].Rc != isa.V(4) {
+		t.Errorf("vfma with scalar multiplier wrong: %+v", p.Code[2])
+	}
+	if p.Code[3].Rb != isa.R(5) {
+		t.Errorf("vlds stride wrong: %+v", p.Code[3])
+	}
+	if p.Code[4].Rb != isa.V(6) || p.Code[5].Rb != isa.V(6) {
+		t.Errorf("indexed forms wrong: %+v %+v", p.Code[4], p.Code[5])
+	}
+	if math.Float64frombits(uint64(p.Code[6].Imm)) != 2.5 {
+		t.Errorf("fmovi wrong: %+v", p.Code[6])
+	}
+	if p.Code[7].Imm != 3 || p.Code[8].Imm != 4 {
+		t.Errorf("mark/vltcfg wrong: %+v %+v", p.Code[7], p.Code[8])
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2\nhalt",
+		"add r1, r2\nhalt",          // missing operand
+		"add r1, r2, x9\nhalt",      // bad register
+		"movi r1, &missing\nhalt",   // unknown symbol
+		"ld r1, r2\nhalt",           // bad memory operand
+		".alloc\nhalt",              // bad directive
+		".data t xyz\nhalt",         // bad data value
+		"vldx v0, (r4)\nhalt",       // missing index
+		"beq r1, r0, nowhere\nhalt", // unbound label
+		"add r40, r1, r2\nhalt",     // register out of range
+		"j @notanumber\nhalt",       // bad absolute target
+		".unknown foo\nhalt",        // unknown directive
+	}
+	for _, src := range cases {
+		if _, err := ParseText("bad", src); err == nil {
+			t.Errorf("expected error for %q", strings.Split(src, "\n")[0])
+		}
+	}
+}
+
+// Round trip: disassembling an instruction and parsing it back yields the
+// same instruction, for all register-only formats.
+func TestDisassembleParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vecRegs := func() (isa.Reg, isa.Reg, isa.Reg) {
+		return isa.V(rng.Intn(32)), isa.V(rng.Intn(32)), isa.V(rng.Intn(32))
+	}
+	var cases []isa.Instruction
+	for i := 0; i < 200; i++ {
+		switch i % 10 {
+		case 0:
+			cases = append(cases, isa.Instruction{Op: isa.OpAdd,
+				Rd: isa.R(rng.Intn(32)), Ra: isa.R(rng.Intn(32)), Rb: isa.R(rng.Intn(32))})
+		case 1:
+			cases = append(cases, isa.Instruction{Op: isa.OpSub,
+				Rd: isa.R(rng.Intn(32)), Ra: isa.R(rng.Intn(32)), HasImm: true,
+				Imm: int64(rng.Intn(2000) - 1000)})
+		case 2:
+			cases = append(cases, isa.Instruction{Op: isa.OpFAdd,
+				Rd: isa.F(rng.Intn(32)), Ra: isa.F(rng.Intn(32)), Rb: isa.F(rng.Intn(32))})
+		case 3:
+			a, b, c := vecRegs()
+			cases = append(cases, isa.Instruction{Op: isa.OpVAdd, Rd: a, Ra: b, Rb: c})
+		case 4:
+			a, b, _ := vecRegs()
+			cases = append(cases, isa.Instruction{Op: isa.OpVMul, Rd: a, Ra: b,
+				Rb: isa.R(rng.Intn(32)), BScalar: true})
+		case 5:
+			a, b, c := vecRegs()
+			cases = append(cases, isa.Instruction{Op: isa.OpVFMA, Rd: a, Ra: b, Rb: c,
+				Rc: isa.V(rng.Intn(32))})
+		case 6:
+			a, _, _ := vecRegs()
+			cases = append(cases, isa.Instruction{Op: isa.OpVLd, Rd: a, Ra: isa.R(rng.Intn(32))})
+		case 7:
+			a, _, _ := vecRegs()
+			cases = append(cases, isa.Instruction{Op: isa.OpVLdS, Rd: a,
+				Ra: isa.R(rng.Intn(32)), Rb: isa.R(rng.Intn(32))})
+		case 8:
+			a, b, _ := vecRegs()
+			cases = append(cases, isa.Instruction{Op: isa.OpVStX, Rd: a,
+				Ra: isa.R(rng.Intn(32)), Rb: b})
+		case 9:
+			cases = append(cases, isa.Instruction{Op: isa.OpLd,
+				Rd: isa.R(rng.Intn(32)), Ra: isa.R(rng.Intn(32)), Imm: int64(rng.Intn(512) * 8)})
+		}
+	}
+	for _, in := range cases {
+		src := in.String() + "\nhalt"
+		p, err := ParseText("rt", src)
+		if err != nil {
+			t.Fatalf("parse of %q failed: %v", in.String(), err)
+		}
+		got := p.Code[0]
+		if got != in {
+			t.Fatalf("round trip mismatch:\n disasm %q\n in  %+v\n out %+v", in.String(), in, got)
+		}
+	}
+}
+
+func TestParseTextBranchAbsoluteTarget(t *testing.T) {
+	p, err := ParseText("abs", "beq r1, r0, @3\nnop\nnop\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Imm != 3 {
+		t.Errorf("absolute target = %d, want 3", p.Code[0].Imm)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"vlt/internal/pipe"
+)
+
+// ChromeTracer converts retirement events into Chrome trace-event JSON
+// (the chrome://tracing / Perfetto format): one duration event per
+// instruction spanning fetch to completion, one row per software thread.
+// Attach with Machine.SetChromeTrace and Close it after Run.
+type ChromeTracer struct {
+	w     io.Writer
+	first bool
+	err   error
+}
+
+// NewChromeTracer starts a trace-event array on w.
+func NewChromeTracer(w io.Writer) *ChromeTracer {
+	t := &ChromeTracer{w: w, first: true}
+	_, t.err = io.WriteString(w, "[\n")
+	return t
+}
+
+func (t *ChromeTracer) emit(now uint64, tid int, u *pipe.Uop) {
+	if t.err != nil {
+		return
+	}
+	done := u.DoneCycle
+	if done == pipe.NeverDone || done > now {
+		done = now
+	}
+	dur := done - u.FetchCycle
+	if dur == 0 {
+		dur = 1
+	}
+	sep := ",\n"
+	if t.first {
+		sep = ""
+		t.first = false
+	}
+	_, t.err = fmt.Fprintf(t.w,
+		`%s  {"name": %q, "cat": "uop", "ph": "X", "ts": %d, "dur": %d, "pid": 0, "tid": %d, "args": {"pc": %d, "issue": %d}}`,
+		sep, u.Dyn.Inst.String(), u.FetchCycle, dur, tid, u.Dyn.PC, u.IssueCycle)
+}
+
+// Close terminates the JSON array and reports any write error.
+func (t *ChromeTracer) Close() error {
+	if t.err != nil {
+		return t.err
+	}
+	_, err := io.WriteString(t.w, "\n]\n")
+	return err
+}
+
+// SetChromeTrace attaches a ChromeTracer: every retired instruction is
+// emitted as a duration event. Call tracer.Close after Run.
+func (m *Machine) SetChromeTrace(t *ChromeTracer) {
+	m.chrome = t
+}

@@ -1,0 +1,189 @@
+// Package core assembles the full machine model: scalar units, the vector
+// control logic and lanes, lane cores for scalar threads, the shared
+// memory system, barrier coordination and VLT lane repartitioning. It is
+// the paper's contribution — the machinery that lets idle vector lanes
+// run short-vector or scalar threads — plus the experiment-facing
+// configurations of Sections 4, 5 and 7.
+package core
+
+import (
+	"fmt"
+
+	"vlt/internal/lane"
+	"vlt/internal/mem"
+	"vlt/internal/scalar"
+	"vlt/internal/vcl"
+)
+
+// Config describes one simulated machine.
+type Config struct {
+	Name string
+
+	// Lanes is the number of vector lanes (0 = no vector unit).
+	Lanes int
+
+	// SUs lists the scalar units. Software threads are assigned to SMT
+	// context slots in order: SU 0 slot 0, SU 0 slot 1, SU 1 slot 0, ...
+	SUs []scalar.Config
+
+	VCL vcl.Config
+	L2  mem.L2Config
+
+	// LaneScalarMode runs every software thread on a lane core (Section 5)
+	// instead of on the scalar units.
+	LaneScalarMode bool
+	LaneCore       lane.Config
+
+	// NumThreads is the number of software threads the program runs with.
+	NumThreads int
+
+	// InitialPartitions is the initial lane partitioning; partitions are
+	// owned by threads 0..InitialPartitions-1. Programs may change it with
+	// VLTCFG.
+	InitialPartitions int
+
+	// MaxCycles aborts runaway simulations (0 = default guard).
+	MaxCycles uint64
+}
+
+// Validate checks structural consistency.
+func (c Config) Validate() error {
+	if c.NumThreads < 1 {
+		return fmt.Errorf("core: config %q: NumThreads %d < 1", c.Name, c.NumThreads)
+	}
+	if c.LaneScalarMode {
+		if c.Lanes < c.NumThreads {
+			return fmt.Errorf("core: config %q: %d lane cores cannot run %d threads",
+				c.Name, c.Lanes, c.NumThreads)
+		}
+		return nil
+	}
+	slots := 0
+	for _, su := range c.SUs {
+		slots += su.Contexts
+	}
+	if slots < c.NumThreads {
+		return fmt.Errorf("core: config %q: %d SMT slots cannot run %d threads",
+			c.Name, slots, c.NumThreads)
+	}
+	if c.Lanes > 0 {
+		p := c.InitialPartitions
+		if p < 1 {
+			return fmt.Errorf("core: config %q: InitialPartitions %d < 1", c.Name, p)
+		}
+		if c.Lanes%p != 0 {
+			return fmt.Errorf("core: config %q: %d lanes not divisible into %d partitions",
+				c.Name, c.Lanes, p)
+		}
+	}
+	return nil
+}
+
+func defaults(c Config) Config {
+	if c.L2.SizeBytes == 0 {
+		c.L2 = mem.DefaultL2Config()
+	}
+	// VCL zero fields are filled by vcl.New, preserving explicitly-set
+	// options like DisableChaining.
+	if c.LaneScalarMode && c.LaneCore.Width == 0 {
+		c.LaneCore = lane.DefaultConfig()
+	}
+	if c.InitialPartitions == 0 {
+		c.InitialPartitions = 1
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 2_000_000_000
+	}
+	return c
+}
+
+// --- the paper's machine configurations ---
+
+// Base returns the base vector processor of Table 3 with the given lane
+// count, running a single thread.
+func Base(lanes int) Config {
+	return Config{
+		Name:              fmt.Sprintf("base-%dL", lanes),
+		Lanes:             lanes,
+		SUs:               []scalar.Config{scalar.Config4Way()},
+		NumThreads:        1,
+		InitialPartitions: 1,
+	}
+}
+
+// vltConfig builds a VLT machine with 8 lanes and threads partitions.
+func vltConfig(name string, threads int, sus []scalar.Config) Config {
+	return Config{
+		Name:              name,
+		Lanes:             8,
+		SUs:               sus,
+		NumThreads:        threads,
+		InitialPartitions: threads,
+	}
+}
+
+// V2SMT: 2 VLT threads on one 2-way-multithreaded 4-way SU.
+func V2SMT() Config {
+	return vltConfig("V2-SMT", 2, []scalar.Config{scalar.Config4Way().WithSMT(2)})
+}
+
+// V2CMP: 2 VLT threads on two replicated 4-way SUs.
+func V2CMP() Config {
+	return vltConfig("V2-CMP", 2, []scalar.Config{scalar.Config4Way(), scalar.Config4Way()})
+}
+
+// V2CMPh: 2 VLT threads on heterogeneous SUs (one 4-way, one 2-way).
+func V2CMPh() Config {
+	return vltConfig("V2-CMP-h", 2, []scalar.Config{scalar.Config4Way(), scalar.Config2Way()})
+}
+
+// V4SMT: 4 VLT threads on one 4-way-multithreaded SU.
+func V4SMT() Config {
+	return vltConfig("V4-SMT", 4, []scalar.Config{scalar.Config4Way().WithSMT(4)})
+}
+
+// V4CMT: 4 VLT threads on two 4-way SUs, each 2-way multithreaded.
+func V4CMT() Config {
+	return vltConfig("V4-CMT", 4, []scalar.Config{
+		scalar.Config4Way().WithSMT(2), scalar.Config4Way().WithSMT(2),
+	})
+}
+
+// V4CMP: 4 VLT threads on four replicated 4-way SUs.
+func V4CMP() Config {
+	return vltConfig("V4-CMP", 4, []scalar.Config{
+		scalar.Config4Way(), scalar.Config4Way(), scalar.Config4Way(), scalar.Config4Way(),
+	})
+}
+
+// V4CMPh: 4 VLT threads on one 4-way and three 2-way SUs.
+func V4CMPh() Config {
+	return vltConfig("V4-CMP-h", 4, []scalar.Config{
+		scalar.Config4Way(), scalar.Config2Way(), scalar.Config2Way(), scalar.Config2Way(),
+	})
+}
+
+// CMT: the scalar-only baseline of Section 7.2 — the V4-CMT configuration
+// without the vector unit: two 4-way SUs, each 2-way multithreaded,
+// running numThreads scalar threads.
+func CMT(numThreads int) Config {
+	return Config{
+		Name: "CMT",
+		SUs: []scalar.Config{
+			scalar.Config4Way().WithSMT(2), scalar.Config4Way().WithSMT(2),
+		},
+		NumThreads: numThreads,
+	}
+}
+
+// VLTScalar: 8 scalar threads running on the 8 vector lanes as 2-way
+// in-order cores (Section 5). The scalar unit services lane I-cache
+// misses but runs no thread, as in the paper.
+func VLTScalar(numThreads int) Config {
+	return Config{
+		Name:           "VLT-scalar",
+		Lanes:          8,
+		LaneScalarMode: true,
+		NumThreads:     numThreads,
+	}
+}

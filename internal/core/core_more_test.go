@@ -1,0 +1,229 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+	"vlt/internal/vcl"
+)
+
+func tinyVectorProgram() *asm.Program {
+	b := asm.NewBuilder("tiny")
+	b.Mark(1)
+	b.MovI(isa.R(1), 8)
+	b.SetVL(isa.R(2), isa.R(1))
+	b.VIota(isa.V(1))
+	b.VRedSum(isa.R(3), isa.V(1))
+	b.Mark(0)
+	b.Bar()
+	b.Halt()
+	return b.MustAssemble()
+}
+
+func TestSetTraceEmitsRetirementLines(t *testing.T) {
+	m, err := NewMachine(Base(8), tinyVectorProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	m.SetTrace(&sb)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"setvl", "viota", "vredsum", "halt", "t0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Count(out, "\n")
+	if lines != len(tinyVectorProgram().Code) {
+		t.Errorf("trace has %d lines, want %d (one per retired instruction)",
+			lines, len(tinyVectorProgram().Code))
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	b := asm.NewBuilder("spin")
+	l := b.NewLabel("l")
+	b.Bind(l)
+	b.J(l)
+	b.Halt()
+	cfg := Base(8)
+	cfg.MaxCycles = 500
+	m, err := NewMachine(cfg, b.MustAssemble())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Fatalf("expected max-cycles error, got %v", err)
+	}
+}
+
+func TestResultSpeedupHelper(t *testing.T) {
+	base := Result{Cycles: 1000}
+	fast := Result{Cycles: 400}
+	if got := fast.Speedup(base); got != 2.5 {
+		t.Errorf("Speedup = %v, want 2.5", got)
+	}
+	var zero Result
+	if got := zero.Speedup(base); got != 0 {
+		t.Errorf("zero-cycle speedup = %v, want 0", got)
+	}
+}
+
+func TestRegionCyclesAccounting(t *testing.T) {
+	res, _, err := RunProgram(Base(8), tinyVectorProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, c := range res.RegionCycles {
+		total += c
+	}
+	if total != res.Cycles {
+		t.Errorf("region cycles sum to %d, want total %d", total, res.Cycles)
+	}
+	if res.RegionCycles[1] == 0 {
+		t.Error("no cycles attributed to region 1")
+	}
+}
+
+func TestL2AccessorAndStats(t *testing.T) {
+	m, err := NewMachine(Base(8), tinyVectorProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.L2() == nil || m.VM() == nil {
+		t.Fatal("accessors returned nil")
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VecIssued != 2 { // viota + vredsum
+		t.Errorf("VecIssued = %d, want 2", res.VecIssued)
+	}
+	if res.VecElemOps != 16 {
+		t.Errorf("VecElemOps = %d, want 16", res.VecElemOps)
+	}
+}
+
+func TestCustomVCLConfigPropagates(t *testing.T) {
+	cfg := Base(8)
+	cfg.VCL = vcl.Config{IssueWidth: 1, DisableChaining: true}
+	m, err := NewMachine(cfg, tinyVectorProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeterogeneousConfigsValidate(t *testing.T) {
+	for _, cfg := range []Config{V2SMT(), V2CMPh(), V4CMPh(), CMT(4), VLTScalar(8)} {
+		cfg := defaults(cfg)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestSixteenLaneMachine(t *testing.T) {
+	prog := vectorSumProgram(64, 64)
+	r16, _, err := RunProgram(Base(16), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog8 := vectorSumProgram(64, 64)
+	r8, _, err := RunProgram(Base(8), prog8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16.Cycles >= r8.Cycles {
+		t.Errorf("16 lanes (%d cycles) should beat 8 lanes (%d) on VL-64 code",
+			r16.Cycles, r8.Cycles)
+	}
+	// Utilization accounting must cover 16 lanes * 3 datapaths.
+	if r16.Util.Total() != r16.Cycles*3*16 {
+		t.Errorf("utilization total %d, want %d", r16.Util.Total(), r16.Cycles*3*16)
+	}
+}
+
+func TestBarrierFenceWaitsForVectorDrain(t *testing.T) {
+	// A thread issues a long vector store immediately before a barrier;
+	// the barrier must not release until the store's elements are
+	// accepted (ThreadInFlight == 0).
+	b := asm.NewBuilder("fence")
+	buf := b.Alloc("buf", 64)
+	b.MovI(isa.R(1), 64)
+	b.SetVL(isa.R(2), isa.R(1))
+	b.VIota(isa.V(1))
+	b.MovA(isa.R(3), buf)
+	b.VSt(isa.V(1), isa.R(3))
+	b.Bar()
+	b.Halt()
+	res, machine, err := RunProgram(Base(8), b.MustAssemble())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	if got := machine.Mem.MustRead(buf + 63*8); got != 63 {
+		t.Errorf("store content wrong: %d", got)
+	}
+}
+
+func TestSetPipeViewEmitsTimeline(t *testing.T) {
+	m, err := NewMachine(Base(8), tinyVectorProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	m.SetPipeView(&sb)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != len(tinyVectorProgram().Code) {
+		t.Fatalf("pipeview has %d lines, want %d", len(lines), len(tinyVectorProgram().Code))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "F") || !strings.Contains(l, "R") || !strings.HasPrefix(l, "t0") {
+			t.Errorf("malformed pipeview line %q", l)
+		}
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	m, err := NewMachine(Base(8), tinyVectorProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	tracer := NewChromeTracer(&sb)
+	m.SetChromeTrace(tracer)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != len(tinyVectorProgram().Code) {
+		t.Errorf("%d events, want %d", len(events), len(tinyVectorProgram().Code))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" || e["name"] == "" {
+			t.Errorf("malformed event: %v", e)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+	"vlt/internal/lane"
+	"vlt/internal/mem"
+	"vlt/internal/pipe"
+	"vlt/internal/scalar"
+	"vlt/internal/vcl"
+	"vlt/internal/vm"
+)
+
+// location maps a software thread onto hardware.
+type location struct {
+	onLane bool
+	unit   int // SU index or lane-core index
+	slot   int // SMT slot (SUs only)
+}
+
+// SUStat is one scalar unit's pipeline census.
+type SUStat struct {
+	ID                  int
+	Fetched             uint64
+	Dispatched          uint64
+	Issued              uint64
+	Retired             uint64
+	FetchStallBranch    uint64
+	FetchStallICache    uint64
+	DispStallROB        uint64
+	DispStallWindow     uint64
+	DispStallVIQ        uint64
+	BranchMispredictPct float64
+	L1IHitPct           float64
+	L1DHitPct           float64
+}
+
+// LaneStat is one lane core's pipeline census (lane-scalar mode).
+type LaneStat struct {
+	ID                  int
+	Fetched             uint64
+	Issued              uint64
+	Retired             uint64
+	StallOperand        uint64
+	StallMemPort        uint64
+	BranchMispredictPct float64
+	ICacheHitPct        float64
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	Config string
+	Cycles uint64
+
+	// Per-unit pipeline statistics.
+	SUs      []SUStat
+	LaneCore []LaneStat
+
+	Retired    uint64 // instructions retired, all threads
+	VecIssued  uint64
+	VecElemOps uint64
+
+	// Util is the Figure-4 datapath-cycle breakdown (vector configs).
+	Util vcl.Utilization
+
+	// RegionCycles maps region id (MARK) to cycles thread 0 spent in it;
+	// OpportunityPct is the share of cycles in regions > 0 — the paper's
+	// "% opportunity" when measured on the base configuration.
+	RegionCycles   map[int64]uint64
+	OpportunityPct float64
+
+	// Ops is the functional operation census (Table 4 inputs).
+	Ops vm.OpStats
+
+	L2BankStalls uint64
+	L2HitRate    float64
+}
+
+// Speedup returns base-cycles / this-run-cycles.
+func (r Result) Speedup(base Result) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// Machine is one configured processor with a loaded program.
+type Machine struct {
+	cfg  Config
+	vm   *vm.VM
+	l2   *mem.L2
+	vu   *vcl.VCL
+	sus  []*scalar.Unit
+	lcs  []*lane.Core
+	locs []location
+
+	region []int64 // current MARK region per thread (updated at retire)
+	now    uint64
+	trace  io.Writer
+	pipes  io.Writer
+	chrome *ChromeTracer
+}
+
+// SetTrace directs a retirement trace to w: one line per retired
+// instruction with cycle, thread and disassembly. Expensive; for
+// debugging and the vltrun tool.
+func (m *Machine) SetTrace(w io.Writer) { m.trace = w }
+
+// SetPipeView directs a pipeline timeline to w: per retired instruction,
+// the cycles it was fetched, dispatched, issued and completed — the raw
+// material for pipeline visualization.
+func (m *Machine) SetPipeView(w io.Writer) { m.pipes = w }
+
+// NewMachine builds the machine described by cfg and loads prog with
+// cfg.NumThreads software threads.
+func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
+	cfg = defaults(cfg)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	machine, err := vm.New(prog, cfg.NumThreads)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:    cfg,
+		vm:     machine,
+		l2:     mem.NewL2(cfg.L2),
+		region: make([]int64, cfg.NumThreads),
+	}
+
+	if cfg.Lanes > 0 && !cfg.LaneScalarMode {
+		m.vu = vcl.New(cfg.VCL, m.l2, cfg.Lanes)
+		owners := make([]int, cfg.InitialPartitions)
+		for i := range owners {
+			owners[i] = i
+		}
+		if err := m.vu.Partition(owners); err != nil {
+			return nil, err
+		}
+		m.vm.Partitions = cfg.InitialPartitions
+	}
+
+	m.locs = make([]location, cfg.NumThreads)
+	if cfg.LaneScalarMode {
+		for t := 0; t < cfg.NumThreads; t++ {
+			c := lane.New(t, cfg.LaneCore, m.vm, m.l2)
+			c.AttachThread(t)
+			tid := t
+			c.OnRetire = func(u *pipe.Uop) { m.onRetire(tid, u) }
+			m.lcs = append(m.lcs, c)
+			m.locs[t] = location{onLane: true, unit: t}
+		}
+		return m, nil
+	}
+
+	var sink scalar.VectorSink
+	if m.vu != nil {
+		sink = m.vu
+	}
+	next := 0
+	for i, sc := range cfg.SUs {
+		su := scalar.New(i, sc, m.vm, m.l2, sink)
+		su.OnRetire = func(u *pipe.Uop) { m.onRetire(u.Thread, u) }
+		m.sus = append(m.sus, su)
+		for s := 0; s < sc.Contexts && next < cfg.NumThreads; s++ {
+			su.AttachThread(s, next)
+			m.locs[next] = location{unit: i, slot: s}
+			next++
+		}
+	}
+	return m, nil
+}
+
+// VM exposes the functional machine (for result verification).
+func (m *Machine) VM() *vm.VM { return m.vm }
+
+// L2 exposes the shared cache (for statistics).
+func (m *Machine) L2() *mem.L2 { return m.l2 }
+
+func (m *Machine) onRetire(tid int, u *pipe.Uop) {
+	if u.Dyn.Inst.Op == isa.OpMark {
+		m.region[tid] = u.Dyn.MarkID
+	}
+	if m.trace != nil {
+		fmt.Fprintf(m.trace, "%10d  t%d  @%-6d %s\n", m.now, tid, u.Dyn.PC, u.Dyn.Inst)
+	}
+	if m.pipes != nil {
+		done := u.DoneCycle
+		if done == pipe.NeverDone {
+			done = m.now // released control uops (barriers) complete at retire
+		}
+		fmt.Fprintf(m.pipes, "t%d @%d %s | F%d D%d I%d C%d R%d\n",
+			tid, u.Dyn.PC, u.Dyn.Inst.Op, u.FetchCycle, u.DispatchCycle,
+			u.IssueCycle, done, m.now)
+	}
+	if m.chrome != nil {
+		m.chrome.emit(m.now, tid, u)
+	}
+}
+
+func (m *Machine) done() bool {
+	for _, su := range m.sus {
+		if !su.Done() {
+			return false
+		}
+	}
+	for _, c := range m.lcs {
+		if !c.Done() {
+			return false
+		}
+	}
+	// Early-committed vector instructions may outlive the scalar
+	// pipelines; the run ends when the vector unit drains too.
+	return m.vu == nil || m.vu.InFlight() == 0
+}
+
+func (m *Machine) err() error {
+	for _, su := range m.sus {
+		if su.Err != nil {
+			return su.Err
+		}
+	}
+	for _, c := range m.lcs {
+		if c.Err != nil {
+			return c.Err
+		}
+	}
+	return nil
+}
+
+// barrierUop returns thread t's waiting barrier uop, if its pipeline has
+// one at the retire head.
+func (m *Machine) barrierUop(t int) *pipe.Uop {
+	loc := m.locs[t]
+	if loc.onLane {
+		return m.lcs[loc.unit].BarrierWaiting()
+	}
+	return m.sus[loc.unit].BarrierWaiting(loc.slot)
+}
+
+func (m *Machine) threadHalted(t int) bool {
+	return m.vm.Thread(t).Halted
+}
+
+// coordinate releases barriers once every live thread has arrived and
+// applies pending VLTCFG repartition requests once the vector unit drains.
+func (m *Machine) coordinate(now uint64) {
+	// Barriers: every non-halted thread must present a waiting BAR, with
+	// its vector work drained (the barrier acts as a memory fence: early-
+	// committed vector instructions must complete before it releases).
+	arrived := 0
+	live := 0
+	for t := 0; t < m.cfg.NumThreads; t++ {
+		if m.threadHalted(t) && m.barrierUop(t) == nil {
+			continue
+		}
+		live++
+		if m.barrierUop(t) != nil && (m.vu == nil || m.vu.ThreadInFlight(t) == 0) {
+			arrived++
+		}
+	}
+	if live > 0 && arrived == live {
+		for t := 0; t < m.cfg.NumThreads; t++ {
+			if u := m.barrierUop(t); u != nil {
+				u.DoneCycle = now
+			}
+		}
+	}
+
+	// VLT reconfiguration.
+	if m.vu == nil {
+		return
+	}
+	for t := 0; t < m.cfg.NumThreads; t++ {
+		loc := m.locs[t]
+		if loc.onLane {
+			continue
+		}
+		u := m.sus[loc.unit].VltCfgWaiting(loc.slot)
+		if u == nil {
+			continue
+		}
+		if !m.vu.Drained(now) {
+			continue
+		}
+		n := u.Dyn.VltCfg
+		owners := make([]int, n)
+		for i := range owners {
+			owners[i] = i
+		}
+		if err := m.vu.Partition(owners); err == nil {
+			u.DoneCycle = now
+		}
+	}
+}
+
+// Run simulates to completion and returns the result.
+func (m *Machine) Run() (Result, error) {
+	var now uint64
+	regionCycles := make(map[int64]uint64)
+	for ; !m.done(); now++ {
+		m.now = now
+		if now >= m.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("core: %s exceeded %d cycles", m.cfg.Name, m.cfg.MaxCycles)
+		}
+		if m.vu != nil {
+			m.vu.Tick(now)
+		}
+		for _, su := range m.sus {
+			su.Tick(now)
+		}
+		for _, c := range m.lcs {
+			c.Tick(now)
+		}
+		if err := m.err(); err != nil {
+			return Result{}, err
+		}
+		m.coordinate(now)
+		regionCycles[m.region[0]]++
+	}
+
+	res := Result{
+		Config:       m.cfg.Name,
+		Cycles:       now,
+		RegionCycles: regionCycles,
+		Ops:          m.vm.Stats,
+		L2BankStalls: m.l2.BankStalls,
+		L2HitRate:    m.l2.Cache().HitRate(),
+	}
+	for _, su := range m.sus {
+		res.Retired += su.Retired
+		res.SUs = append(res.SUs, SUStat{
+			ID: su.ID, Fetched: su.Fetched, Dispatched: su.Dispatched,
+			Issued: su.IssuedCount, Retired: su.Retired,
+			FetchStallBranch: su.FetchStallBranch, FetchStallICache: su.FetchStallICache,
+			DispStallROB: su.DispStallROB, DispStallWindow: su.DispStallWindow,
+			DispStallVIQ:        su.DispStallVIQ,
+			BranchMispredictPct: 100 * su.Predictor().MispredictRate(),
+			L1IHitPct:           100 * su.ICache().Cache().HitRate(),
+			L1DHitPct:           100 * su.DCache().Cache().HitRate(),
+		})
+	}
+	for _, c := range m.lcs {
+		res.Retired += c.Retired
+		res.LaneCore = append(res.LaneCore, LaneStat{
+			ID: c.ID, Fetched: c.Fetched, Issued: c.Issued, Retired: c.Retired,
+			StallOperand: c.StallOperand, StallMemPort: c.StallMemPort,
+			BranchMispredictPct: 100 * c.Predictor().MispredictRate(),
+			ICacheHitPct:        100 * c.ICache().Cache().HitRate(),
+		})
+	}
+	if m.vu != nil {
+		res.Util = m.vu.Util
+		res.VecIssued = m.vu.VecIssued
+		res.VecElemOps = m.vu.VecElemOps
+	}
+	var opp uint64
+	for region, cyc := range regionCycles {
+		if region > 0 {
+			opp += cyc
+		}
+	}
+	if now > 0 {
+		res.OpportunityPct = 100 * float64(opp) / float64(now)
+	}
+	return res, nil
+}
+
+// RunProgram is a convenience wrapper: build the machine, run it, return
+// the result and the functional machine for verification.
+func RunProgram(cfg Config, prog *asm.Program) (Result, *vm.VM, error) {
+	m, err := NewMachine(cfg, prog)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	return res, m.vm, nil
+}

@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// WordSize is the fixed encoded size of one instruction in bytes. The
+// encoding is a serialization format for program images, not a bit-exact
+// hardware format; the timing models charge one fetch slot per instruction
+// regardless.
+const WordSize = 16
+
+const (
+	flagHasImm  = 1 << 0
+	flagBScalar = 1 << 1
+)
+
+// Encode serializes the instruction into buf, which must be at least
+// WordSize bytes long. It returns WordSize.
+func (in *Instruction) Encode(buf []byte) int {
+	_ = buf[WordSize-1]
+	binary.LittleEndian.PutUint16(buf[0:], uint16(in.Op))
+	buf[2] = byte(in.Rd)
+	buf[3] = byte(in.Ra)
+	buf[4] = byte(in.Rb)
+	buf[5] = byte(in.Rc)
+	var flags byte
+	if in.HasImm {
+		flags |= flagHasImm
+	}
+	if in.BScalar {
+		flags |= flagBScalar
+	}
+	buf[6] = flags
+	buf[7] = 0
+	binary.LittleEndian.PutUint64(buf[8:], uint64(in.Imm))
+	return WordSize
+}
+
+// Decode deserializes one instruction from buf. It fails if the opcode is
+// unknown or a register field is malformed.
+func Decode(buf []byte) (Instruction, error) {
+	if len(buf) < WordSize {
+		return Instruction{}, fmt.Errorf("isa: short instruction word: %d bytes", len(buf))
+	}
+	var in Instruction
+	in.Op = Op(binary.LittleEndian.Uint16(buf[0:]))
+	if in.Op == OpInvalid || int(in.Op) >= NumOps || in.Op.Info().Name == "" {
+		return Instruction{}, fmt.Errorf("isa: unknown opcode %d", uint16(in.Op))
+	}
+	in.Rd = Reg(buf[2])
+	in.Ra = Reg(buf[3])
+	in.Rb = Reg(buf[4])
+	in.Rc = Reg(buf[5])
+	for _, r := range [...]Reg{in.Rd, in.Ra, in.Rb, in.Rc} {
+		if r != RegNone && !r.Valid() {
+			return Instruction{}, fmt.Errorf("isa: invalid register id %d in %s", r, in.Op)
+		}
+	}
+	flags := buf[6]
+	in.HasImm = flags&flagHasImm != 0
+	in.BScalar = flags&flagBScalar != 0
+	in.Imm = int64(binary.LittleEndian.Uint64(buf[8:]))
+	return in, nil
+}
+
+// EncodeProgram serializes a slice of instructions.
+func EncodeProgram(code []Instruction) []byte {
+	out := make([]byte, len(code)*WordSize)
+	for i := range code {
+		code[i].Encode(out[i*WordSize:])
+	}
+	return out
+}
+
+// DecodeProgram deserializes a program image produced by EncodeProgram.
+func DecodeProgram(image []byte) ([]Instruction, error) {
+	if len(image)%WordSize != 0 {
+		return nil, fmt.Errorf("isa: program image length %d not a multiple of %d", len(image), WordSize)
+	}
+	code := make([]Instruction, len(image)/WordSize)
+	for i := range code {
+		in, err := Decode(image[i*WordSize:])
+		if err != nil {
+			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+		code[i] = in
+	}
+	return code, nil
+}

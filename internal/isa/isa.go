@@ -1,0 +1,263 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a Cray-X1-inspired vector ISA with 32 scalar integer
+// registers, 32 scalar floating-point registers, and 32 vector registers of
+// up to MaxVL 64-bit elements each.
+//
+// The package is purely declarative: it defines registers, opcodes,
+// instruction formats, per-opcode execution metadata (functional-unit class
+// and latency), a fixed-width binary encoding, and a disassembler.
+// Functional semantics live in internal/vm and timing semantics in
+// internal/scalar, internal/vcl and internal/lane.
+package isa
+
+import "fmt"
+
+// Architectural constants. They mirror the Cray X1 register model used by
+// the paper (32 vector registers with 64 64-bit elements per register).
+const (
+	NumIntRegs = 32 // scalar integer registers r0..r31 (r0 reads as zero)
+	NumFPRegs  = 32 // scalar floating-point registers f0..f31
+	NumVecRegs = 32 // architectural vector registers v0..v31
+	MaxVL      = 64 // elements per vector register
+)
+
+// Reg is a unified architectural register identifier. Integer, floating
+// point and vector registers share one id space so dependency tracking,
+// renaming and scoreboarding can treat them uniformly.
+//
+// Layout: [0,32) integer, [32,64) floating point, [64,96) vector, 96 the
+// vector-length register, and RegNone meaning "no register".
+type Reg uint8
+
+const (
+	regIntBase Reg = 0
+	regFPBase  Reg = 32
+	regVecBase Reg = 64
+
+	// RegVL is the vector-length register written by SETVL and implicitly
+	// read by every vector instruction.
+	RegVL Reg = 96
+
+	// NumRegs is the total number of architectural register identifiers
+	// (including RegVL).
+	NumRegs = 97
+
+	// RegNone marks an unused register slot in an instruction.
+	RegNone Reg = 0xFF
+)
+
+// R returns the i'th scalar integer register.
+func R(i int) Reg {
+	if i < 0 || i >= NumIntRegs {
+		panic(fmt.Sprintf("isa: integer register index %d out of range", i))
+	}
+	return regIntBase + Reg(i)
+}
+
+// F returns the i'th scalar floating-point register.
+func F(i int) Reg {
+	if i < 0 || i >= NumFPRegs {
+		panic(fmt.Sprintf("isa: fp register index %d out of range", i))
+	}
+	return regFPBase + Reg(i)
+}
+
+// V returns the i'th vector register.
+func V(i int) Reg {
+	if i < 0 || i >= NumVecRegs {
+		panic(fmt.Sprintf("isa: vector register index %d out of range", i))
+	}
+	return regVecBase + Reg(i)
+}
+
+// IsInt reports whether r is a scalar integer register.
+func (r Reg) IsInt() bool { return r < regFPBase }
+
+// IsFP reports whether r is a scalar floating-point register.
+func (r Reg) IsFP() bool { return r >= regFPBase && r < regVecBase }
+
+// IsVec reports whether r is a vector register.
+func (r Reg) IsVec() bool { return r >= regVecBase && r < regVecBase+NumVecRegs }
+
+// IsScalar reports whether r is a scalar (integer or floating point)
+// register.
+func (r Reg) IsScalar() bool { return r < regVecBase }
+
+// Valid reports whether r names an architectural register (including RegVL).
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Index returns the register number within its class (e.g. V(7).Index()==7).
+func (r Reg) Index() int {
+	switch {
+	case r.IsInt():
+		return int(r)
+	case r.IsFP():
+		return int(r - regFPBase)
+	case r.IsVec():
+		return int(r - regVecBase)
+	default:
+		return int(r)
+	}
+}
+
+// String renders the register in assembly syntax.
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r == RegVL:
+		return "vl"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", r.Index())
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r.Index())
+	case r.IsVec():
+		return fmt.Sprintf("v%d", r.Index())
+	default:
+		return fmt.Sprintf("reg?%d", int(r))
+	}
+}
+
+// Instruction is a decoded machine instruction. Operand meaning depends on
+// the opcode's Format; see ops.go. PC-relative control flow is not used:
+// branch and jump targets are absolute instruction indices held in Imm
+// (the assembler resolves labels to indices).
+type Instruction struct {
+	Op  Op
+	Rd  Reg // destination (or store-data source for stores)
+	Ra  Reg // first source
+	Rb  Reg // second source (or index vector / stride register)
+	Rc  Reg // third source (FMA addend)
+	Imm int64
+
+	// HasImm selects the immediate form of scalar ALU ops (Rb is ignored
+	// and Imm supplies the second operand).
+	HasImm bool
+
+	// BScalar selects the vector-scalar form of vector arithmetic ops: Rb
+	// names a scalar register whose value is broadcast across elements.
+	BScalar bool
+}
+
+// Dests returns the architectural registers written by the instruction.
+// The result is freshly allocated on each call.
+func (in *Instruction) Dests() []Reg {
+	info := in.Op.Info()
+	var out []Reg
+	for _, slot := range info.Writes {
+		if r := in.reg(slot); r != RegNone {
+			out = append(out, r)
+		}
+	}
+	if in.Op == OpSetVL {
+		out = append(out, RegVL)
+	}
+	return out
+}
+
+// Srcs returns the architectural registers read by the instruction,
+// including the implicit RegVL read of vector operations. The result is
+// freshly allocated on each call.
+func (in *Instruction) Srcs() []Reg {
+	info := in.Op.Info()
+	var out []Reg
+	for _, slot := range info.Reads {
+		r := in.reg(slot)
+		if r == RegNone {
+			continue
+		}
+		if slot == slotRb && in.HasImm {
+			continue // immediate form: Rb not read
+		}
+		out = append(out, r)
+	}
+	if info.Vector && in.Op != OpSetVL {
+		out = append(out, RegVL)
+	}
+	return out
+}
+
+// operand slots used by the metadata tables.
+type slot uint8
+
+const (
+	slotRd slot = iota
+	slotRa
+	slotRb
+	slotRc
+)
+
+func (in *Instruction) reg(s slot) Reg {
+	switch s {
+	case slotRd:
+		return in.Rd
+	case slotRa:
+		return in.Ra
+	case slotRb:
+		return in.Rb
+	case slotRc:
+		return in.Rc
+	}
+	return RegNone
+}
+
+// String disassembles the instruction.
+func (in *Instruction) String() string {
+	info := in.Op.Info()
+	switch info.Format {
+	case FmtNone:
+		if in.Op == OpMark || in.Op == OpVltCfg {
+			return fmt.Sprintf("%s %d", info.Name, in.Imm)
+		}
+		return info.Name
+	case FmtRRR:
+		if in.HasImm {
+			return fmt.Sprintf("%s %s, %s, %d", info.Name, in.Rd, in.Ra, in.Imm)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", info.Name, in.Rd, in.Ra, in.Rb)
+	case FmtRR:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.Rd, in.Ra)
+	case FmtMovI:
+		return fmt.Sprintf("%s %s, %d", info.Name, in.Rd, in.Imm)
+	case FmtLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", info.Name, in.Rd, in.Imm, in.Ra)
+	case FmtStore:
+		return fmt.Sprintf("%s %s, %d(%s)", info.Name, in.Rd, in.Imm, in.Ra)
+	case FmtBranch:
+		return fmt.Sprintf("%s %s, %s, @%d", info.Name, in.Ra, in.Rb, in.Imm)
+	case FmtJump:
+		return fmt.Sprintf("%s @%d", info.Name, in.Imm)
+	case FmtJumpReg:
+		return fmt.Sprintf("%s %s", info.Name, in.Ra)
+	case FmtVec3:
+		if in.BScalar {
+			return fmt.Sprintf("%s.vs %s, %s, %s", info.Name, in.Rd, in.Ra, in.Rb)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", info.Name, in.Rd, in.Ra, in.Rb)
+	case FmtVecFMA:
+		return fmt.Sprintf("%s %s, %s, %s, %s", info.Name, in.Rd, in.Ra, in.Rb, in.Rc)
+	case FmtVecRed:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.Rd, in.Ra)
+	case FmtVecLoad:
+		if in.Op == OpVLdS {
+			return fmt.Sprintf("%s %s, (%s), %s", info.Name, in.Rd, in.Ra, in.Rb)
+		}
+		if in.Op == OpVLdX {
+			return fmt.Sprintf("%s %s, (%s+%s)", info.Name, in.Rd, in.Ra, in.Rb)
+		}
+		return fmt.Sprintf("%s %s, (%s)", info.Name, in.Rd, in.Ra)
+	case FmtVecStore:
+		if in.Op == OpVStS {
+			return fmt.Sprintf("%s %s, (%s), %s", info.Name, in.Rd, in.Ra, in.Rb)
+		}
+		if in.Op == OpVStX {
+			return fmt.Sprintf("%s %s, (%s+%s)", info.Name, in.Rd, in.Ra, in.Rb)
+		}
+		return fmt.Sprintf("%s %s, (%s)", info.Name, in.Rd, in.Ra)
+	case FmtVecUnary:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.Rd, in.Ra)
+	case FmtSetVL:
+		return fmt.Sprintf("%s %s, %s", info.Name, in.Rd, in.Ra)
+	}
+	return fmt.Sprintf("%s <unknown format>", info.Name)
+}

@@ -1,0 +1,342 @@
+// Package lane implements the timing model of a vector lane re-engineered
+// to run a scalar thread (Section 5 of the paper): a 2-way in-order core
+// built from the lane's existing resources (3 arithmetic datapaths, 2
+// memory ports, the vector register file partition repurposed as a 4 KB
+// instruction cache). There is no data cache: loads and stores access the
+// shared L2 directly, and the lane's existing address queues decouple
+// loads from dependent consumers (in-order issue, out-of-order
+// completion).
+//
+// Instruction-cache misses are forwarded through the scalar unit, which
+// adds a fixed service overhead on top of the L2 access.
+package lane
+
+import (
+	"fmt"
+
+	"vlt/internal/isa"
+	"vlt/internal/mem"
+	"vlt/internal/pipe"
+	"vlt/internal/scalar"
+	"vlt/internal/vm"
+)
+
+// Config parameterizes a lane core.
+type Config struct {
+	Width             int // in-order issue width (2)
+	NumMemPorts       int // memory ports (2)
+	RetireQueue       int // in-flight instructions tolerated (decoupling depth)
+	DecoupleWindow    int // issue lookahead past stalled instructions
+	MispredictPenalty int // shallow pipeline redirect cost
+	ICacheServiceLat  int // extra cycles for SU-forwarded I-cache misses
+	PredictorEntries  int
+	ICache            mem.L1Config
+}
+
+// DefaultConfig returns the paper's lane-core parameters. DecoupleWindow
+// models the lane's existing access-decoupling queues (Espasa's decoupled
+// vector architecture, the paper's citation [14]): a stalled consumer does
+// not block independent younger operations within a small lookahead,
+// which is how the paper's lanes tolerate the L2 latency without a data
+// cache. Set it to 1 for a strictly blocking in-order pipeline (the
+// ablation).
+func DefaultConfig() Config {
+	return Config{
+		Width: 2, NumMemPorts: 2, RetireQueue: 48, DecoupleWindow: 12,
+		MispredictPenalty: 2, ICacheServiceLat: 4,
+		PredictorEntries: 512, ICache: mem.LaneICacheConfig(),
+	}
+}
+
+// Core is one lane running a scalar thread.
+type Core struct {
+	ID  int
+	cfg Config
+
+	vmach  *vm.VM
+	icache *mem.L1
+	l2     *mem.L2
+	pred   *pipe.Bimodal
+
+	tid    int
+	active bool
+
+	fetchQ []*pipe.Uop // fetched, not yet issued (program order, may have holes)
+	rob    []*pipe.Uop // all in-flight uops in program order (retire queue)
+
+	lastWriter [isa.NumRegs]*pipe.Uop
+
+	haltFetched   bool
+	pendingBranch *pipe.Uop
+	blockedUop    *pipe.Uop
+	stallUntil    uint64
+	curLine       uint64
+
+	// OnRetire, if set, is invoked for every retired uop.
+	OnRetire func(*pipe.Uop)
+
+	// Err records a functional fault or an illegal instruction class.
+	Err error
+
+	Fetched uint64
+	Issued  uint64
+	Retired uint64
+
+	StallOperand uint64 // issue-blocking cycles waiting on operands
+	StallMemPort uint64
+}
+
+// New builds a lane core over the shared L2.
+func New(id int, cfg Config, machine *vm.VM, l2 *mem.L2) *Core {
+	if cfg.Width == 0 {
+		cfg = DefaultConfig()
+	}
+	return &Core{
+		ID:      id,
+		cfg:     cfg,
+		vmach:   machine,
+		icache:  mem.NewL1(cfg.ICache, l2),
+		l2:      l2,
+		pred:    pipe.NewBimodal(cfg.PredictorEntries),
+		tid:     -1,
+		curLine: ^uint64(0),
+	}
+}
+
+// ICache exposes the lane instruction cache (statistics).
+func (c *Core) ICache() *mem.L1 { return c.icache }
+
+// Predictor exposes the branch predictor (statistics).
+func (c *Core) Predictor() *pipe.Bimodal { return c.pred }
+
+// AttachThread binds software thread tid to this core.
+func (c *Core) AttachThread(tid int) {
+	c.tid = tid
+	c.active = true
+}
+
+// Done reports whether the core's thread has fully drained.
+func (c *Core) Done() bool {
+	return !c.active || (c.haltFetched && len(c.fetchQ) == 0 && len(c.rob) == 0)
+}
+
+// BarrierWaiting returns the BAR uop at the head of the retire queue that
+// has not been released, or nil.
+func (c *Core) BarrierWaiting() *pipe.Uop {
+	if len(c.rob) == 0 {
+		return nil
+	}
+	h := c.rob[0]
+	if h.Dyn.IsBarrier && h.Issued && h.DoneCycle == pipe.NeverDone {
+		return h
+	}
+	return nil
+}
+
+// Tick advances the core one cycle.
+func (c *Core) Tick(now uint64) {
+	if c.Err != nil || !c.active {
+		return
+	}
+	c.retire(now)
+	c.issue(now)
+	c.fetch(now)
+}
+
+func (c *Core) retire(now uint64) {
+	budget := c.cfg.Width
+	for budget > 0 && len(c.rob) > 0 {
+		h := c.rob[0]
+		if !h.Issued || !h.DoneBy(now) {
+			return
+		}
+		h.Retired = true
+		c.rob[0] = nil
+		c.rob = c.rob[1:]
+		c.Retired++
+		budget--
+		if c.OnRetire != nil {
+			c.OnRetire(h)
+		}
+	}
+}
+
+// issue starts up to Width instructions per cycle. Issue is in order,
+// but the access-decoupling queues let independent younger instructions
+// within DecoupleWindow proceed past a stalled consumer (out-of-order
+// completion is inherent: loads return whenever the L2 answers).
+func (c *Core) issue(now uint64) {
+	memUsed := 0
+	issued := 0
+	window := c.cfg.DecoupleWindow
+	if window < 1 {
+		window = 1
+	}
+	for slot := 0; slot < len(c.fetchQ) && slot < window && issued < c.cfg.Width; slot++ {
+		u := c.fetchQ[slot]
+		if u == nil || u.Issued {
+			continue
+		}
+		info := u.Dyn.Inst.Op.Info()
+
+		if info.Vector {
+			c.Err = fmt.Errorf("lane: vector instruction %s on lane core %d", u.Dyn.Inst, c.ID)
+			return
+		}
+
+		// Control uops that need no datapath; they are sequencing points,
+		// so they only issue from the queue head.
+		if info.Class == isa.ClassCtl && u.Dyn.Inst.Op != isa.OpSetVL {
+			if slot != 0 {
+				break
+			}
+			if u.Dyn.IsBarrier {
+				u.DoneCycle = pipe.NeverDone // released by the machine
+			} else if u.Dyn.VltCfg != 0 {
+				c.Err = fmt.Errorf("lane: vltcfg executed on lane core %d", c.ID)
+				return
+			} else {
+				u.DoneCycle = now
+			}
+			c.advance(u, now, slot)
+			issued++
+			continue
+		}
+
+		if !u.ReadyBy(now) {
+			c.StallOperand++
+			continue
+		}
+		switch info.Class {
+		case isa.ClassLoad, isa.ClassStore:
+			if memUsed >= c.cfg.NumMemPorts {
+				c.StallMemPort++
+				continue
+			}
+			memUsed++
+			done := c.l2.Access(now, u.Dyn.EffAddrs[0], info.Class == isa.ClassStore)
+			if info.Class == isa.ClassStore {
+				// Stores retire once accepted by the lane store queue.
+				done = now + 1
+			}
+			u.DoneCycle = done
+		default:
+			u.DoneCycle = now + uint64(info.Latency)
+		}
+		c.advance(u, now, slot)
+		issued++
+	}
+	c.compactFetchQ()
+}
+
+// compactFetchQ drops issued entries from the front and squeezes out
+// issued holes so the lookahead window keeps sliding.
+func (c *Core) compactFetchQ() {
+	dst := c.fetchQ[:0]
+	for _, u := range c.fetchQ {
+		if u != nil {
+			dst = append(dst, u)
+		}
+	}
+	for i := len(dst); i < len(c.fetchQ); i++ {
+		c.fetchQ[i] = nil
+	}
+	c.fetchQ = dst
+}
+
+func (c *Core) advance(u *pipe.Uop, now uint64, slot int) {
+	u.Issued = true
+	u.IssueCycle = now
+	u.ChainCycle = u.DoneCycle
+	c.fetchQ[slot] = nil
+	c.Issued++
+}
+
+func (c *Core) fetch(now uint64) {
+	if c.haltFetched || c.stallUntil > now {
+		return
+	}
+	if c.pendingBranch != nil {
+		if !c.pendingBranch.DoneBy(now) {
+			return
+		}
+		c.stallUntil = c.pendingBranch.DoneCycle + uint64(c.cfg.MispredictPenalty)
+		c.pendingBranch = nil
+		if c.stallUntil > now {
+			return
+		}
+	}
+	if c.blockedUop != nil {
+		if !c.blockedUop.DoneBy(now) {
+			return
+		}
+		c.blockedUop = nil
+	}
+	for i := 0; i < c.cfg.Width; i++ {
+		if len(c.fetchQ) >= c.cfg.DecoupleWindow+c.cfg.Width {
+			return
+		}
+		if len(c.rob) >= c.cfg.RetireQueue {
+			return
+		}
+		pc := c.vmach.Thread(c.tid).PC
+		line := scalar.CodeAddr(pc) / mem.LineBytes
+		if line != c.curLine {
+			done := c.icache.AccessLine(now, scalar.CodeAddr(pc))
+			if done > now+1 {
+				// Miss: forwarded through the scalar unit.
+				c.stallUntil = done + uint64(c.cfg.ICacheServiceLat)
+				return
+			}
+			c.curLine = line
+		}
+		dyn, err := c.vmach.Step(c.tid)
+		if err != nil {
+			c.Err = err
+			return
+		}
+		u := &pipe.Uop{
+			Dyn: dyn, Thread: c.tid, FetchCycle: now,
+			DoneCycle: pipe.NeverDone, ChainCycle: pipe.NeverDone,
+			CommitCycle: pipe.NeverDone,
+		}
+		// Record producers at fetch (the core has no rename stage;
+		// in-order issue makes fetch-time capture safe).
+		for _, r := range dyn.Inst.Srcs() {
+			if w := c.lastWriter[r]; w != nil && !w.Retired {
+				u.Producers = append(u.Producers, w)
+			}
+		}
+		for _, r := range dyn.Inst.Dests() {
+			c.lastWriter[r] = u
+		}
+		c.fetchQ = append(c.fetchQ, u)
+		c.rob = append(c.rob, u)
+		c.Fetched++
+
+		if dyn.Branch {
+			correct := true
+			switch dyn.Inst.Op {
+			case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu:
+				correct = c.pred.Predict(dyn.PC, dyn.Taken)
+			}
+			if !correct {
+				u.Mispredicted = true
+				c.pendingBranch = u
+				return
+			}
+			if dyn.Taken {
+				return
+			}
+			continue
+		}
+		if dyn.IsBarrier {
+			c.blockedUop = u
+			return
+		}
+		if dyn.IsHalt {
+			c.haltFetched = true
+			return
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package mem implements the timing model of the on-chip memory system:
+// set-associative caches with LRU replacement, a multi-banked shared L2
+// with bank-conflict queuing for vector element accesses, and the L1
+// caches of the scalar units and lane cores.
+//
+// The functional simulator (internal/vm) owns data values; this package
+// models latency only. Latencies follow the paper's Table 3: L2 hit 10
+// cycles, L2 miss 100 cycles, 16 banks, 4 MB, 4-way associative.
+package mem
+
+// LineBytes is the cache line size used throughout the hierarchy.
+const LineBytes = 64
+
+// Cache is a set-associative tag array with LRU replacement. It tracks
+// presence only (no data): Access returns whether the line was present and
+// fills it if not.
+type Cache struct {
+	sets      int
+	assoc     int
+	lineShift uint
+
+	tags  []uint64 // sets*assoc entries; tag = line number + 1 (0 = invalid)
+	stamp []uint64 // LRU timestamps
+	clock uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewCache builds a cache of sizeBytes bytes with the given associativity
+// and LineBytes lines. sizeBytes must be a multiple of assoc*LineBytes and
+// the set count must be a power of two.
+func NewCache(sizeBytes, assoc int) *Cache {
+	lines := sizeBytes / LineBytes
+	sets := lines / assoc
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("mem: set count must be a positive power of two")
+	}
+	return &Cache{
+		sets:      sets,
+		assoc:     assoc,
+		lineShift: 6, // log2(LineBytes)
+		tags:      make([]uint64, sets*assoc),
+		stamp:     make([]uint64, sets*assoc),
+	}
+}
+
+// Access probes the cache for addr, filling on miss, and reports hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.assoc
+	tag := line + 1
+	c.clock++
+
+	victim := base
+	oldest := c.stamp[base]
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.stamp[i] = c.clock
+			c.Hits++
+			return true
+		}
+		if c.stamp[i] < oldest {
+			oldest = c.stamp[i]
+			victim = i
+		}
+	}
+	c.tags[victim] = tag
+	c.stamp[victim] = c.clock
+	c.Misses++
+	return false
+}
+
+// Probe reports whether addr is present without updating state.
+func (c *Cache) Probe(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line) & (c.sets - 1)
+	base := set * c.assoc
+	tag := line + 1
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.stamp[i] = 0
+	}
+	c.clock = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// HitRate returns hits/(hits+misses), or 0 when unused.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

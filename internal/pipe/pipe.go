@@ -1,0 +1,133 @@
+// Package pipe holds the types shared between the timing pipelines: the
+// in-flight micro-op record used by the scalar units, the vector control
+// logic and the lane cores, and a bimodal branch predictor.
+package pipe
+
+import (
+	"math"
+
+	"vlt/internal/vm"
+)
+
+// NeverDone is the DoneCycle value of an instruction whose completion time
+// is not yet known.
+const NeverDone = math.MaxUint64
+
+// Uop is one in-flight dynamic instruction. The functional outcome
+// (registers, memory, branch direction) was already computed by
+// internal/vm at fetch; Uop carries only timing state.
+type Uop struct {
+	Dyn    *vm.Dyn
+	Thread int // software thread id
+
+	FetchCycle    uint64
+	DispatchCycle uint64
+	IssueCycle    uint64
+
+	// DoneCycle is when the result becomes architecturally available.
+	// NeverDone until execution determines it (or, for barriers and
+	// vltcfg, until the machine-level controller releases it).
+	DoneCycle uint64
+
+	// CommitCycle, when set (non-NeverDone), allows the reorder buffer to
+	// retire the instruction before DoneCycle. The vector control logic
+	// sets it at vector issue: once a vector instruction has issued its
+	// addresses are translated and it can no longer fault, so the scalar
+	// unit's ROB releases it while the vector unit tracks completion
+	// (Espasa-style early commit of vector instructions).
+	CommitCycle uint64
+
+	// ChainCycle is when the first element group of a vector result is
+	// available for chaining; equals DoneCycle for scalar results.
+	ChainCycle uint64
+
+	Issued  bool
+	Retired bool
+
+	// Mispredicted marks a branch whose predicted direction differed
+	// from the architectural outcome.
+	Mispredicted bool
+
+	// Producers are the older in-flight uops whose results this uop
+	// reads. Producers that have already retired are dropped at dispatch
+	// (their results are in the register file).
+	Producers []*Uop
+
+	// ScalarProducers are the scalar-register producers of a vector uop,
+	// tracked by the scalar unit and consulted by the vector control
+	// logic (vector-scalar dependencies).
+	ScalarProducers []*Uop
+}
+
+// DoneBy reports whether the uop's result is available at cycle now.
+func (u *Uop) DoneBy(now uint64) bool { return u.DoneCycle <= now }
+
+// RetireBy reports whether the reorder buffer may retire the uop at now:
+// either its result is complete or it has been committed early.
+func (u *Uop) RetireBy(now uint64) bool {
+	return u.DoneCycle <= now || (u.CommitCycle != NeverDone && u.CommitCycle <= now)
+}
+
+// ReadyBy reports whether every producer's result is available at now.
+func (u *Uop) ReadyBy(now uint64) bool {
+	for _, p := range u.Producers {
+		if !p.DoneBy(now) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bimodal is a table of 2-bit saturating counters indexed by PC. The
+// timing models run on the architecturally correct path (the functional
+// simulator is the fetch stage), so the predictor's only job is deciding
+// whether each branch would have been predicted correctly.
+type Bimodal struct {
+	table []uint8
+	mask  int
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewBimodal builds a predictor with the given number of entries (rounded
+// up to a power of two, minimum 16).
+func NewBimodal(entries int) *Bimodal {
+	n := 16
+	for n < entries {
+		n <<= 1
+	}
+	t := make([]uint8, n)
+	for i := range t {
+		t[i] = 1 // weakly not-taken
+	}
+	return &Bimodal{table: t, mask: n - 1}
+}
+
+// Predict consults and updates the predictor for a conditional branch at
+// pc with architectural outcome taken. It reports whether the prediction
+// was correct.
+func (b *Bimodal) Predict(pc int, taken bool) bool {
+	b.Lookups++
+	i := pc & b.mask
+	c := b.table[i]
+	predTaken := c >= 2
+	if taken && c < 3 {
+		b.table[i] = c + 1
+	} else if !taken && c > 0 {
+		b.table[i] = c - 1
+	}
+	correct := predTaken == taken
+	if !correct {
+		b.Mispredicts++
+	}
+	return correct
+}
+
+// MispredictRate returns mispredicts/lookups, or 0 when unused.
+func (b *Bimodal) MispredictRate() float64 {
+	if b.Lookups == 0 {
+		return 0
+	}
+	return float64(b.Mispredicts) / float64(b.Lookups)
+}

@@ -1,0 +1,113 @@
+package pipe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func quickCheck(f any) error {
+	return quick.Check(f, &quick.Config{MaxCount: 100})
+}
+
+func TestUopReadiness(t *testing.T) {
+	p1 := &Uop{DoneCycle: 10}
+	p2 := &Uop{DoneCycle: 20}
+	u := &Uop{Producers: []*Uop{p1, p2}, DoneCycle: NeverDone}
+	if u.ReadyBy(15) {
+		t.Error("ready before slowest producer")
+	}
+	if !u.ReadyBy(20) {
+		t.Error("not ready at slowest producer completion")
+	}
+	if u.DoneBy(1 << 62) {
+		t.Error("NeverDone uop reported done")
+	}
+}
+
+func TestUopNoProducersAlwaysReady(t *testing.T) {
+	u := &Uop{DoneCycle: NeverDone}
+	if !u.ReadyBy(0) {
+		t.Error("uop with no producers should be ready")
+	}
+}
+
+func TestBimodalLearnsLoopBranch(t *testing.T) {
+	b := NewBimodal(64)
+	// A loop back-edge taken 100 times: after warm-up, always correct.
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !b.Predict(7, true) {
+			wrong++
+		}
+	}
+	if wrong > 2 {
+		t.Errorf("loop branch mispredicted %d times, want <= 2", wrong)
+	}
+	// Loop exit: one mispredict.
+	if b.Predict(7, false) {
+		t.Error("loop exit should mispredict")
+	}
+}
+
+func TestBimodalAlternatingIsHard(t *testing.T) {
+	b := NewBimodal(64)
+	wrong := 0
+	taken := false
+	for i := 0; i < 100; i++ {
+		if !b.Predict(3, taken) {
+			wrong++
+		}
+		taken = !taken
+	}
+	if wrong < 40 {
+		t.Errorf("alternating branch should mispredict often, got %d/100", wrong)
+	}
+	if b.MispredictRate() <= 0 {
+		t.Error("mispredict rate should be positive")
+	}
+}
+
+func TestBimodalSizing(t *testing.T) {
+	b := NewBimodal(1) // rounds up to minimum 16
+	if len(b.table) != 16 {
+		t.Errorf("table size %d, want 16", len(b.table))
+	}
+	b2 := NewBimodal(100)
+	if len(b2.table) != 128 {
+		t.Errorf("table size %d, want 128", len(b2.table))
+	}
+}
+
+func TestBimodalIndependentPCs(t *testing.T) {
+	b := NewBimodal(256)
+	for i := 0; i < 10; i++ {
+		b.Predict(1, true)
+		b.Predict(2, false)
+	}
+	if !b.Predict(1, true) {
+		t.Error("pc 1 should predict taken")
+	}
+	if !b.Predict(2, false) {
+		t.Error("pc 2 should predict not-taken")
+	}
+}
+
+func TestBimodalRatesBoundedQuick(t *testing.T) {
+	// Property: for arbitrary outcome sequences the predictor never
+	// panics and its mispredict rate stays within [0, 1].
+	f := func(pcs []uint16, outcomes []bool) bool {
+		b := NewBimodal(128)
+		n := len(pcs)
+		if len(outcomes) < n {
+			n = len(outcomes)
+		}
+		for i := 0; i < n; i++ {
+			b.Predict(int(pcs[i]), outcomes[i])
+		}
+		r := b.MispredictRate()
+		return r >= 0 && r <= 1
+	}
+	if err := quickCheck(f); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("a-much-longer-name", 22)
+	out := tb.String()
+	if !strings.HasPrefix(out, "My Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Columns align: "value" entries start at the same offset.
+	h := strings.Index(lines[1], "value")
+	r1 := strings.Index(lines[3], "1.50")
+	r2 := strings.Index(lines[4], "22")
+	if h != r1 || h != r2 {
+		t.Errorf("columns misaligned (%d/%d/%d):\n%s", h, r1, r2, out)
+	}
+	if !strings.Contains(out, "1.50") {
+		t.Errorf("float not formatted with 2 decimals:\n%s", out)
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Row("x")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("empty title should not emit a blank line:\n%q", out)
+	}
+}
+
+func TestTableRenderingNeverPanicsQuick(t *testing.T) {
+	f := func(title string, cells []string) bool {
+		tb := NewTable(title, "c1", "c2", "c3")
+		for i := 0; i+2 < len(cells); i += 3 {
+			tb.Row(cells[i], cells[i+1], cells[i+2])
+		}
+		out := tb.String()
+		return strings.Contains(out, "c1")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 20); got != strings.Repeat("#", 10) {
+		t.Errorf("Bar(5,10,20) = %q", got)
+	}
+	if got := Bar(15, 10, 20); got != strings.Repeat("#", 20) {
+		t.Errorf("over-max should clamp: %q", got)
+	}
+	if got := Bar(-1, 10, 20); got != "" {
+		t.Errorf("negative value should clamp to empty: %q", got)
+	}
+	if got := Bar(1, 0, 20); got != "" {
+		t.Errorf("zero max should be empty: %q", got)
+	}
+}

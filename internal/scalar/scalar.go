@@ -1,0 +1,534 @@
+// Package scalar implements the timing model of the scalar unit (SU): a
+// wide-issue, out-of-order, speculative superscalar processor with L1
+// instruction and data caches and optional simultaneous multithreading.
+// It follows the paper's Table 3: 4-way fetch/issue/retire, 64-entry
+// instruction window and reorder buffer, 4 arithmetic units, 2 memory
+// ports, 16 KB 2-way L1 caches (a 2-way SU halves every resource).
+//
+// The SU fetches both scalar and vector instructions. Vector instructions
+// are tracked in the reorder buffer for precise exceptions and handed to
+// the vector control logic's instruction queue at dispatch; scalar
+// instructions rename implicitly (last-writer tracking with a window-
+// bounded number of in-flight destinations) and issue out of order.
+//
+// The functional simulator is the fetch stage: vm.Step executes the
+// architecturally correct path, and the branch predictor decides only how
+// much fetch time speculation would have cost.
+package scalar
+
+import (
+	"fmt"
+
+	"vlt/internal/isa"
+	"vlt/internal/mem"
+	"vlt/internal/pipe"
+	"vlt/internal/vm"
+)
+
+// CodeBase maps instruction indices into a byte-address space disjoint
+// from data addresses for instruction-cache indexing.
+const CodeBase uint64 = 1 << 40
+
+// CodeAddr returns the byte address of instruction index pc.
+func CodeAddr(pc int) uint64 { return CodeBase + uint64(pc)*isa.WordSize }
+
+// VectorSink accepts vector uops at dispatch (implemented by vcl.VCL).
+type VectorSink interface {
+	Enqueue(*pipe.Uop) bool
+}
+
+// Config parameterizes one scalar unit.
+type Config struct {
+	Width             int // fetch/dispatch/issue/retire width
+	WindowSize        int // scheduler window entries
+	ROBSize           int // reorder buffer entries (split across contexts)
+	NumALU            int // arithmetic units
+	NumMemPorts       int // data-cache ports
+	Contexts          int // SMT contexts (1 = single-threaded)
+	MispredictPenalty int // redirect cycles after branch resolution
+	PredictorEntries  int
+	L1I, L1D          mem.L1Config
+}
+
+// Config4Way returns the paper's base 4-way SU.
+func Config4Way() Config {
+	return Config{
+		Width: 4, WindowSize: 64, ROBSize: 64, NumALU: 4, NumMemPorts: 2,
+		Contexts: 1, MispredictPenalty: 3, PredictorEntries: 4096,
+		L1I: mem.DefaultL1Config(), L1D: mem.DefaultL1Config(),
+	}
+}
+
+// Config2Way returns the paper's half-resource 2-way SU (identical caches,
+// half of everything else).
+func Config2Way() Config {
+	c := Config4Way()
+	c.Width, c.WindowSize, c.ROBSize, c.NumALU, c.NumMemPorts = 2, 32, 32, 2, 1
+	return c
+}
+
+// WithSMT returns the config with n SMT contexts (the paper's 2-way or
+// 4-way multithreading within a scalar processor).
+func (c Config) WithSMT(n int) Config {
+	c.Contexts = n
+	return c
+}
+
+type context struct {
+	slot   int
+	tid    int // software thread id, -1 when the context is unused
+	active bool
+
+	fetchQ []*pipe.Uop
+	rob    []*pipe.Uop
+	robCap int
+
+	lastWriter [isa.NumRegs]*pipe.Uop
+
+	haltFetched   bool
+	pendingBranch *pipe.Uop // mispredicted branch gating fetch
+	blockedUop    *pipe.Uop // BAR or VLTCFG gating fetch
+	stallUntil    uint64    // icache miss / redirect penalty
+	curLine       uint64
+}
+
+func (c *context) done() bool {
+	return !c.active || (c.haltFetched && len(c.rob) == 0 && len(c.fetchQ) == 0)
+}
+
+func (c *context) inflight() int { return len(c.rob) + len(c.fetchQ) }
+
+// Unit is one scalar unit instance.
+type Unit struct {
+	ID  int
+	cfg Config
+
+	vmach  *vm.VM
+	icache *mem.L1
+	dcache *mem.L1
+	pred   *pipe.Bimodal
+	vsink  VectorSink
+
+	ctxs   []*context
+	window []*pipe.Uop // unissued scalar uops, age order across contexts
+
+	fetchRR  int
+	retireRR int
+
+	// OnRetire, if set, is called for every retired uop (the machine
+	// model uses it for region tracking and completion accounting).
+	OnRetire func(*pipe.Uop)
+
+	// Err records a functional-simulator fault; the machine stops.
+	Err error
+
+	Fetched     uint64
+	Dispatched  uint64
+	IssuedCount uint64
+	Retired     uint64
+
+	FetchStallBranch uint64
+	FetchStallICache uint64
+	DispStallROB     uint64
+	DispStallWindow  uint64
+	DispStallVIQ     uint64
+}
+
+// New builds a scalar unit over the shared L2. vsink may be nil for a
+// CMP/CMT configuration without a vector unit.
+func New(id int, cfg Config, machine *vm.VM, l2 *mem.L2, vsink VectorSink) *Unit {
+	u := &Unit{
+		ID:     id,
+		cfg:    cfg,
+		vmach:  machine,
+		icache: mem.NewL1(cfg.L1I, l2),
+		dcache: mem.NewL1(cfg.L1D, l2),
+		pred:   pipe.NewBimodal(cfg.PredictorEntries),
+		vsink:  vsink,
+	}
+	// SMT contexts share the reorder buffer dynamically: each context may
+	// use up to 3/4 of the entries, with the global total capped at
+	// ROBSize (no context can starve completely).
+	robCap := cfg.ROBSize
+	if cfg.Contexts > 1 {
+		robCap = cfg.ROBSize * 3 / 4
+	}
+	for s := 0; s < cfg.Contexts; s++ {
+		u.ctxs = append(u.ctxs, &context{slot: s, tid: -1, robCap: robCap, curLine: ^uint64(0)})
+	}
+	return u
+}
+
+func (u *Unit) robTotal() int {
+	n := 0
+	for _, c := range u.ctxs {
+		n += len(c.rob)
+	}
+	return n
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// ICache exposes the instruction cache (statistics).
+func (u *Unit) ICache() *mem.L1 { return u.icache }
+
+// DCache exposes the data cache (statistics).
+func (u *Unit) DCache() *mem.L1 { return u.dcache }
+
+// Predictor exposes the branch predictor (statistics).
+func (u *Unit) Predictor() *pipe.Bimodal { return u.pred }
+
+// AttachThread binds software thread tid to SMT context slot.
+func (u *Unit) AttachThread(slot, tid int) {
+	c := u.ctxs[slot]
+	c.tid = tid
+	c.active = true
+}
+
+// Done reports whether every attached thread has fully drained.
+func (u *Unit) Done() bool {
+	for _, c := range u.ctxs {
+		if !c.done() {
+			return false
+		}
+	}
+	return true
+}
+
+// BarrierWaiting returns, per context, the BAR uop currently at the head
+// of the reorder buffer and not yet released, or nil.
+func (u *Unit) BarrierWaiting(slot int) *pipe.Uop {
+	c := u.ctxs[slot]
+	if len(c.rob) == 0 {
+		return nil
+	}
+	h := c.rob[0]
+	if h.Dyn.IsBarrier && h.DoneCycle == pipe.NeverDone {
+		return h
+	}
+	return nil
+}
+
+// VltCfgWaiting returns the VLTCFG uop at the head of the context's ROB
+// that has not been applied yet, or nil.
+func (u *Unit) VltCfgWaiting(slot int) *pipe.Uop {
+	c := u.ctxs[slot]
+	if len(c.rob) == 0 {
+		return nil
+	}
+	h := c.rob[0]
+	if h.Dyn.VltCfg != 0 && h.DoneCycle == pipe.NeverDone {
+		return h
+	}
+	return nil
+}
+
+// Tick advances the unit one cycle: retire, issue, dispatch, fetch.
+func (u *Unit) Tick(now uint64) {
+	if u.Err != nil {
+		return
+	}
+	u.retire(now)
+	u.issue(now)
+	u.dispatch(now)
+	u.fetch(now)
+}
+
+// retire commits completed instructions in order, up to Width per cycle,
+// round-robin across contexts.
+func (u *Unit) retire(now uint64) {
+	budget := u.cfg.Width
+	n := len(u.ctxs)
+	for i := 0; i < n && budget > 0; i++ {
+		c := u.ctxs[(u.retireRR+i)%n]
+		for budget > 0 && len(c.rob) > 0 {
+			h := c.rob[0]
+			if !h.RetireBy(now) {
+				break
+			}
+			h.Retired = true
+			c.rob[0] = nil
+			c.rob = c.rob[1:]
+			u.Retired++
+			budget--
+			if u.OnRetire != nil {
+				u.OnRetire(h)
+			}
+		}
+	}
+	u.retireRR++
+}
+
+// issue selects ready instructions from the window, oldest first, bounded
+// by issue width, ALU count and memory ports.
+func (u *Unit) issue(now uint64) {
+	issued, aluUsed, memUsed := 0, 0, 0
+	kept := u.window[:0]
+	for idx, w := range u.window {
+		if issued >= u.cfg.Width {
+			kept = append(kept, u.window[idx:]...)
+			break
+		}
+		if !w.ReadyBy(now) {
+			kept = append(kept, w)
+			continue
+		}
+		info := w.Dyn.Inst.Op.Info()
+		switch info.Class {
+		case isa.ClassLoad, isa.ClassStore:
+			if memUsed >= u.cfg.NumMemPorts {
+				kept = append(kept, w)
+				continue
+			}
+			memUsed++
+			addr := w.Dyn.EffAddrs[0]
+			done := u.dcache.Access(now, addr, info.Class == isa.ClassStore)
+			if info.Class == isa.ClassStore {
+				// Stores drain through the store buffer: they retire once
+				// issued; the cache update completes asynchronously.
+				done = now + 1
+			}
+			w.DoneCycle = done
+		default: // IntALU, IntMul, FP, Ctl(SETVL)
+			if aluUsed >= u.cfg.NumALU {
+				kept = append(kept, w)
+				continue
+			}
+			aluUsed++
+			w.DoneCycle = now + uint64(info.Latency)
+		}
+		w.Issued = true
+		w.IssueCycle = now
+		w.ChainCycle = w.DoneCycle
+		issued++
+		u.IssuedCount++
+	}
+	for i := len(kept); i < len(u.window); i++ {
+		u.window[i] = nil
+	}
+	u.window = kept
+}
+
+// dispatch moves fetched instructions into the ROB (and window or vector
+// queue), in order per context, up to Width per cycle.
+func (u *Unit) dispatch(now uint64) {
+	budget := u.cfg.Width
+	n := len(u.ctxs)
+	for i := 0; i < n && budget > 0; i++ {
+		c := u.ctxs[(u.retireRR+i)%n]
+		for budget > 0 && len(c.fetchQ) > 0 {
+			uop := c.fetchQ[0]
+			if len(c.rob) >= c.robCap || u.robTotal() >= u.cfg.ROBSize {
+				u.DispStallROB++
+				break
+			}
+			info := uop.Dyn.Inst.Op.Info()
+			switch {
+			case info.Vector:
+				if u.vsink == nil {
+					u.Err = fmt.Errorf("scalar: vector instruction %s with no vector unit (thread %d)",
+						uop.Dyn.Inst, uop.Thread)
+					return
+				}
+				u.collectScalarProducers(c, uop)
+				if !u.vsink.Enqueue(uop) {
+					u.DispStallVIQ++
+					budget = 0
+					break
+				}
+				u.recordScalarDests(c, uop)
+			case info.Class == isa.ClassCtl && uop.Dyn.Inst.Op != isa.OpSetVL:
+				// NOP/MARK/HALT complete immediately; BAR and VLTCFG
+				// wait for the machine-level controller.
+				if uop.Dyn.IsBarrier || uop.Dyn.VltCfg != 0 {
+					uop.DoneCycle = pipe.NeverDone
+				} else {
+					uop.DoneCycle = now
+					uop.ChainCycle = now
+				}
+			default:
+				if len(u.window) >= u.cfg.WindowSize {
+					u.DispStallWindow++
+					budget = 0
+					break
+				}
+				u.collectProducers(c, uop)
+				u.recordScalarDests(c, uop)
+				u.window = append(u.window, uop)
+			}
+			if budget == 0 {
+				break
+			}
+			uop.DispatchCycle = now
+			c.fetchQ[0] = nil
+			c.fetchQ = c.fetchQ[1:]
+			c.rob = append(c.rob, uop)
+			u.Dispatched++
+			budget--
+		}
+	}
+}
+
+// collectProducers records all unretired producers of a scalar uop.
+func (u *Unit) collectProducers(c *context, uop *pipe.Uop) {
+	for _, r := range uop.Dyn.Inst.Srcs() {
+		if w := c.lastWriter[r]; w != nil {
+			uop.Producers = append(uop.Producers, w)
+		}
+	}
+}
+
+// collectScalarProducers records the scalar-register producers of a
+// vector uop for the VCL's vector-scalar dependence check.
+func (u *Unit) collectScalarProducers(c *context, uop *pipe.Uop) {
+	if uop.ScalarProducers != nil {
+		return // already collected on a previous (VIQ-full) attempt
+	}
+	for _, r := range uop.Dyn.Inst.Srcs() {
+		if r.IsVec() {
+			continue
+		}
+		if w := c.lastWriter[r]; w != nil {
+			uop.ScalarProducers = append(uop.ScalarProducers, w)
+		}
+	}
+	if uop.ScalarProducers == nil {
+		uop.ScalarProducers = []*pipe.Uop{}
+	}
+}
+
+// recordScalarDests updates last-writer tracking for the uop's scalar
+// destinations (vector destinations are renamed inside the VCL).
+func (u *Unit) recordScalarDests(c *context, uop *pipe.Uop) {
+	for _, r := range uop.Dyn.Inst.Dests() {
+		if !r.IsVec() {
+			c.lastWriter[r] = uop
+		}
+	}
+}
+
+// fetch pulls up to Width instructions per cycle, splitting the fetch
+// bandwidth across all fetchable SMT contexts (2+2 for two contexts on a
+// 4-wide unit, 1 each for four), honoring instruction-cache misses,
+// branch mispredictions, barriers and halt.
+func (u *Unit) fetch(now uint64) {
+	n := len(u.ctxs)
+	var ready []*context
+	for i := 0; i < n; i++ {
+		c := u.ctxs[(u.fetchRR+i)%n]
+		if u.fetchable(c, now) {
+			ready = append(ready, c)
+		}
+	}
+	u.fetchRR++
+	if len(ready) == 0 {
+		return
+	}
+	// ICOUNT-style priority: contexts with fewer instructions in flight
+	// fetch first, so no thread starves and stalled threads do not hog
+	// the front end.
+	for i := 1; i < len(ready); i++ {
+		for j := i; j > 0; j-- {
+			if ready[j].inflight() < ready[j-1].inflight() {
+				ready[j], ready[j-1] = ready[j-1], ready[j]
+			} else {
+				break
+			}
+		}
+	}
+	budget := u.cfg.Width
+	for _, c := range ready {
+		if budget <= 0 {
+			break
+		}
+		budget -= u.fetchFrom(c, now, budget)
+	}
+}
+
+func (u *Unit) fetchable(c *context, now uint64) bool {
+	if !c.active || c.haltFetched {
+		return false
+	}
+	if len(c.fetchQ) >= 2*u.cfg.Width {
+		return false
+	}
+	if c.stallUntil > now {
+		return false
+	}
+	if c.pendingBranch != nil {
+		if !c.pendingBranch.DoneBy(now) {
+			u.FetchStallBranch++
+			return false
+		}
+		c.stallUntil = c.pendingBranch.DoneCycle + uint64(u.cfg.MispredictPenalty)
+		c.pendingBranch = nil
+		if c.stallUntil > now {
+			u.FetchStallBranch++
+			return false
+		}
+	}
+	if c.blockedUop != nil {
+		if !c.blockedUop.DoneBy(now) {
+			return false
+		}
+		c.blockedUop = nil
+	}
+	return true
+}
+
+// fetchFrom fetches up to width instructions from context c and reports
+// how many fetch slots it consumed.
+func (u *Unit) fetchFrom(c *context, now uint64, width int) int {
+	for i := 0; i < width; i++ {
+		pc := u.vmach.Thread(c.tid).PC
+		line := CodeAddr(pc) / mem.LineBytes
+		if line != c.curLine {
+			done := u.icache.AccessLine(now, CodeAddr(pc))
+			if done > now+1 {
+				c.stallUntil = done
+				u.FetchStallICache++
+				return i
+			}
+			c.curLine = line
+		}
+		dyn, err := u.vmach.Step(c.tid)
+		if err != nil {
+			u.Err = err
+			return i
+		}
+		uop := &pipe.Uop{
+			Dyn: dyn, Thread: c.tid, FetchCycle: now,
+			DoneCycle: pipe.NeverDone, ChainCycle: pipe.NeverDone,
+			CommitCycle: pipe.NeverDone,
+		}
+		c.fetchQ = append(c.fetchQ, uop)
+		u.Fetched++
+
+		if dyn.Branch {
+			correct := true
+			switch dyn.Inst.Op {
+			case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu:
+				correct = u.pred.Predict(dyn.PC, dyn.Taken)
+			}
+			if !correct {
+				uop.Mispredicted = true
+				c.pendingBranch = uop
+				return i + 1
+			}
+			if dyn.Taken {
+				return i + 1 // fetch group ends at a taken branch
+			}
+			continue
+		}
+		if dyn.IsBarrier || dyn.VltCfg != 0 {
+			c.blockedUop = uop
+			return i + 1
+		}
+		if dyn.IsHalt {
+			c.haltFetched = true
+			return i + 1
+		}
+	}
+	return width
+}

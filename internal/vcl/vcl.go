@@ -1,0 +1,488 @@
+// Package vcl implements the timing model of the vector control logic and
+// the multi-lane vector unit datapaths: the vector instruction queue,
+// implicit vector register renaming, the vector instruction window with
+// out-of-order issue and chaining, per-lane functional-unit occupancy, and
+// the datapath utilization accounting behind the paper's Figure 4.
+//
+// Vector Lane Threading appears here as partitions: the lanes are divided
+// into equal groups, each owned by one software thread. Resources (VIQ and
+// window entries, issue slots) are statically partitioned across the
+// groups, the design point the paper found performs as well as a fully
+// replicated VCL.
+package vcl
+
+import (
+	"fmt"
+
+	"vlt/internal/isa"
+	"vlt/internal/mem"
+	"vlt/internal/pipe"
+)
+
+// NumVFUs is the number of arithmetic datapaths per lane.
+const NumVFUs = 3
+
+// NumMemPorts is the number of memory ports per lane.
+const NumMemPorts = 2
+
+// Config parameterizes the vector control logic (paper Table 3).
+type Config struct {
+	IssueWidth int // vector instructions issued per cycle, total
+	VIQSize    int // vector instruction queue entries, total
+	WindowSize int // vector instruction window entries, total
+	PhysRegs   int // physical vector registers per partition
+
+	// DisableChaining makes consumers wait for a producer's full
+	// completion instead of its first element group (ablation study).
+	DisableChaining bool
+
+	// ReplicatedIssue models a fully replicated VCL: every partition gets
+	// its own IssueWidth slots instead of sharing them (the expensive
+	// design point the paper compared its multiplexed VCL against).
+	ReplicatedIssue bool
+}
+
+// DefaultConfig returns the paper's Table 3 VCL parameters.
+func DefaultConfig() Config {
+	return Config{IssueWidth: 2, VIQSize: 32, WindowSize: 32, PhysRegs: 64}
+}
+
+// Utilization is the Figure-4 datapath-cycle breakdown for the arithmetic
+// datapaths in the vector lanes (3 per lane).
+type Utilization struct {
+	Busy     uint64 // datapath executing an element operation
+	PartIdle uint64 // datapath idle within an executing instruction (VL < lanes)
+	Stalled  uint64 // FU idle while a vector instruction is pending (deps / issue bandwidth)
+	AllIdle  uint64 // no vector instruction at all for this FU
+}
+
+// Total returns the sum of all categories.
+func (u Utilization) Total() uint64 { return u.Busy + u.PartIdle + u.Stalled + u.AllIdle }
+
+type vecExec struct {
+	issue uint64
+	vl    int
+}
+
+type partition struct {
+	id     int
+	thread int // software thread id owning this partition, -1 if none
+	lanes  int
+
+	viqCap int
+	winCap int
+	viq    []*pipe.Uop
+	win    []*pipe.Uop
+
+	lastWriter [isa.NumVecRegs]*pipe.Uop
+	renames    int // vector destinations in flight
+	renameCap  int
+	noChain    bool
+
+	vfuFree [NumVFUs]uint64
+	vfuCur  [NumVFUs]vecExec
+	memFree [NumMemPorts]uint64
+}
+
+// VCL is the vector control logic shared by all thread partitions.
+type VCL struct {
+	cfg        Config
+	l2         *mem.L2
+	totalLanes int
+	parts      []*partition
+	rr         int
+
+	Util Utilization
+
+	VecIssued  uint64
+	VecElemOps uint64
+	// VIQRejects counts Enqueue calls refused for lack of VIQ space —
+	// back-pressure into the scalar unit's dispatch stage.
+	VIQRejects uint64
+}
+
+// New builds a VCL controlling totalLanes lanes, initially configured as a
+// single partition owned by software thread 0.
+func New(cfg Config, l2 *mem.L2, totalLanes int) *VCL {
+	def := DefaultConfig()
+	if cfg.IssueWidth == 0 {
+		cfg.IssueWidth = def.IssueWidth
+	}
+	if cfg.VIQSize == 0 {
+		cfg.VIQSize = def.VIQSize
+	}
+	if cfg.WindowSize == 0 {
+		cfg.WindowSize = def.WindowSize
+	}
+	if cfg.PhysRegs == 0 {
+		cfg.PhysRegs = def.PhysRegs
+	}
+	v := &VCL{cfg: cfg, l2: l2, totalLanes: totalLanes}
+	if err := v.Partition([]int{0}); err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Lanes returns the total lane count.
+func (v *VCL) Lanes() int { return v.totalLanes }
+
+// NumPartitions returns the current partition count.
+func (v *VCL) NumPartitions() int { return len(v.parts) }
+
+// LanesFor returns the number of lanes in thread tid's partition (0 if the
+// thread owns none).
+func (v *VCL) LanesFor(tid int) int {
+	if p := v.partitionOf(tid); p != nil {
+		return p.lanes
+	}
+	return 0
+}
+
+// Partition reconfigures the lanes into len(threads) equal partitions,
+// partition i owned by software thread threads[i]. The vector unit must be
+// drained; vector register contents are considered dead across
+// repartitioning (the paper's software requirement).
+func (v *VCL) Partition(threads []int) error {
+	n := len(threads)
+	if n < 1 || v.totalLanes%n != 0 {
+		return fmt.Errorf("vcl: cannot split %d lanes into %d partitions", v.totalLanes, n)
+	}
+	if v.parts != nil && v.InFlight() != 0 {
+		return fmt.Errorf("vcl: repartition while %d instructions in flight", v.InFlight())
+	}
+	lanes := v.totalLanes / n
+	viqCap := v.cfg.VIQSize / n
+	winCap := v.cfg.WindowSize / n
+	if viqCap < 1 || winCap < 1 {
+		return fmt.Errorf("vcl: too many partitions (%d) for VIQ/window", n)
+	}
+	v.parts = make([]*partition, n)
+	for i, tid := range threads {
+		v.parts[i] = &partition{
+			id:        i,
+			thread:    tid,
+			lanes:     lanes,
+			viqCap:    viqCap,
+			winCap:    winCap,
+			renameCap: v.cfg.PhysRegs - isa.NumVecRegs,
+			noChain:   v.cfg.DisableChaining,
+		}
+	}
+	v.rr = 0
+	return nil
+}
+
+func (v *VCL) partitionOf(tid int) *partition {
+	for _, p := range v.parts {
+		if p.thread == tid {
+			return p
+		}
+	}
+	return nil
+}
+
+// Enqueue offers a vector uop from a scalar unit's dispatch stage,
+// reporting whether the VIQ accepted it.
+func (v *VCL) Enqueue(u *pipe.Uop) bool {
+	p := v.partitionOf(u.Thread)
+	if p == nil {
+		return false
+	}
+	if len(p.viq) >= p.viqCap {
+		v.VIQRejects++
+		return false
+	}
+	p.viq = append(p.viq, u)
+	return true
+}
+
+// ThreadInFlight returns the number of vector instructions of thread tid
+// still in the VIQ or window. With early commit a thread's barrier must
+// wait for this to reach zero (a memory-fence at the barrier).
+func (v *VCL) ThreadInFlight(tid int) int {
+	p := v.partitionOf(tid)
+	if p == nil {
+		return 0
+	}
+	return len(p.viq) + len(p.win)
+}
+
+// InFlight returns the number of vector instructions in the VIQ or window.
+func (v *VCL) InFlight() int {
+	n := 0
+	for _, p := range v.parts {
+		n += len(p.viq) + len(p.win)
+	}
+	return n
+}
+
+// Drained reports whether the vector unit has no work at cycle now.
+func (v *VCL) Drained(now uint64) bool {
+	if v.InFlight() != 0 {
+		return false
+	}
+	for _, p := range v.parts {
+		for _, f := range p.vfuFree {
+			if f > now {
+				return false
+			}
+		}
+		for _, f := range p.memFree {
+			if f > now {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Tick advances the VCL by one cycle: retires completed window entries,
+// renames/dispatches from the VIQ into the window, issues ready
+// instructions to the lane datapaths, and accounts datapath utilization
+// for this cycle.
+func (v *VCL) Tick(now uint64) {
+	for _, p := range v.parts {
+		p.retireDone(now)
+		p.dispatch(now, v.cfg.IssueWidth)
+	}
+	v.issue(now)
+	v.account(now)
+}
+
+// retireDone removes completed instructions from the window, releasing
+// their implicit renames.
+func (p *partition) retireDone(now uint64) {
+	dst := p.win[:0]
+	for _, u := range p.win {
+		if u.Issued && u.DoneBy(now) {
+			if hasVecDest(u) {
+				p.renames--
+			}
+			continue
+		}
+		dst = append(dst, u)
+	}
+	// Zero the tail so retired uops are collectable.
+	for i := len(dst); i < len(p.win); i++ {
+		p.win[i] = nil
+	}
+	p.win = dst
+}
+
+func hasVecDest(u *pipe.Uop) bool {
+	in := u.Dyn.Inst
+	return in.Rd != isa.RegNone && in.Rd.IsVec() && len(in.Op.Info().Writes) > 0
+}
+
+// dispatch renames up to width instructions from the VIQ into the window.
+func (p *partition) dispatch(now uint64, width int) {
+	for n := 0; n < width && len(p.viq) > 0; n++ {
+		if len(p.win) >= p.winCap {
+			return
+		}
+		u := p.viq[0]
+		needsRename := hasVecDest(u)
+		if needsRename && p.renames >= p.renameCap {
+			return // out of physical registers
+		}
+		p.viq = p.viq[1:]
+		if needsRename {
+			p.renames++
+		}
+		// Vector-register producers (chaining sources).
+		for _, r := range u.Dyn.Inst.Srcs() {
+			if r.IsVec() {
+				if w := p.lastWriter[r.Index()]; w != nil {
+					u.Producers = append(u.Producers, w)
+				}
+			}
+		}
+		if needsRename {
+			p.lastWriter[u.Dyn.Inst.Rd.Index()] = u
+		}
+		u.DispatchCycle = now
+		p.win = append(p.win, u)
+	}
+}
+
+// readyAt reports whether u can begin execution at now: scalar operands
+// complete, vector operands at least chainable, and its functional unit
+// free.
+func (p *partition) readyAt(u *pipe.Uop, now uint64) bool {
+	for _, sp := range u.ScalarProducers {
+		if !sp.DoneBy(now) {
+			return false
+		}
+	}
+	for _, vp := range u.Producers {
+		ready := vp.ChainCycle
+		if p.noChain {
+			ready = vp.DoneCycle
+		}
+		if ready > now {
+			return false
+		}
+	}
+	info := u.Dyn.Inst.Op.Info()
+	switch info.Class {
+	case isa.ClassVecALU:
+		return p.vfuFree[info.VFU] <= now
+	case isa.ClassVecLoad, isa.ClassVecStore:
+		for _, f := range p.memFree {
+			if f <= now {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func (p *partition) nextIssuable(now uint64) *pipe.Uop {
+	for _, u := range p.win {
+		if !u.Issued && p.readyAt(u, now) {
+			return u
+		}
+	}
+	return nil
+}
+
+// issue grants the VCL's issue slots across partitions round-robin. A
+// single partition may consume all slots; with multiple partitions each
+// gets at most one slot per cycle (static partitioning of issue
+// bandwidth). With ReplicatedIssue every partition gets the full width
+// (a fully replicated VCL).
+func (v *VCL) issue(now uint64) {
+	width := v.cfg.IssueWidth
+	n := len(v.parts)
+	if v.cfg.ReplicatedIssue {
+		for _, p := range v.parts {
+			for k := 0; k < width; k++ {
+				u := p.nextIssuable(now)
+				if u == nil {
+					break
+				}
+				v.issueUop(p, u, now)
+			}
+		}
+		return
+	}
+	issued := 0
+	for attempt := 0; attempt < n && issued < width; attempt++ {
+		p := v.parts[(v.rr+attempt)%n]
+		for issued < width {
+			u := p.nextIssuable(now)
+			if u == nil {
+				break
+			}
+			v.issueUop(p, u, now)
+			issued++
+			if n > 1 {
+				break // one slot per partition per cycle
+			}
+		}
+	}
+	v.rr++
+}
+
+func (v *VCL) issueUop(p *partition, u *pipe.Uop, now uint64) {
+	info := u.Dyn.Inst.Op.Info()
+	vl := u.Dyn.VL
+	occ := (vl + p.lanes - 1) / p.lanes
+	if occ < 1 {
+		occ = 1
+	}
+	u.Issued = true
+	u.IssueCycle = now
+	// Early commit: once issued, the instruction can no longer fault and
+	// the scalar unit's ROB may release it.
+	u.CommitCycle = now + 1
+	v.VecIssued++
+	v.VecElemOps += uint64(vl)
+
+	switch info.Class {
+	case isa.ClassVecALU:
+		f := info.VFU
+		p.vfuFree[f] = now + uint64(occ)
+		p.vfuCur[f] = vecExec{issue: now, vl: vl}
+		u.DoneCycle = now + uint64(occ) - 1 + uint64(info.Latency)
+		u.ChainCycle = now + uint64(info.Latency)
+	case isa.ClassVecLoad, isa.ClassVecStore:
+		port := -1
+		for i, f := range p.memFree {
+			if f <= now {
+				port = i
+				break
+			}
+		}
+		res := v.l2.AccessBulk(now, u.Dyn.EffAddrs, info.Class == isa.ClassVecStore, p.lanes)
+		p.memFree[port] = res.LastIssue + 1
+		if info.Class == isa.ClassVecLoad {
+			u.DoneCycle = res.Done
+			// Chaining starts when the first element group arrives, but a
+			// consumer advancing one group per cycle must never outrun the
+			// last element's arrival.
+			u.ChainCycle = res.FirstDone
+			if lateStart := res.Done + 1 - uint64(occ); lateStart > u.ChainCycle {
+				u.ChainCycle = lateStart
+			}
+		} else {
+			// Stores retire once every element has been accepted by its
+			// bank; the memory update completes asynchronously (the lane
+			// store queues of the decoupled X1 design).
+			u.DoneCycle = res.LastIssue + 1
+			u.ChainCycle = u.DoneCycle
+		}
+	}
+}
+
+// account classifies this cycle for every arithmetic datapath in every
+// lane (3 per lane), in the paper's Figure-4 categories.
+func (v *VCL) account(now uint64) {
+	for _, p := range v.parts {
+		for f := 0; f < NumVFUs; f++ {
+			if now < p.vfuFree[f] {
+				// FU executing: elements this cycle.
+				cur := p.vfuCur[f]
+				k := int(now - cur.issue)
+				rem := cur.vl - k*p.lanes
+				elems := p.lanes
+				if rem < elems {
+					elems = rem
+				}
+				if elems < 0 {
+					elems = 0
+				}
+				v.Util.Busy += uint64(elems)
+				v.Util.PartIdle += uint64(p.lanes - elems)
+				continue
+			}
+			if p.pendingFor(f) {
+				v.Util.Stalled += uint64(p.lanes)
+			} else {
+				v.Util.AllIdle += uint64(p.lanes)
+			}
+		}
+	}
+}
+
+// pendingFor reports whether any unissued instruction in the window or
+// VIQ targets arithmetic datapath f (memory instructions do not stall the
+// arithmetic datapaths).
+func (p *partition) pendingFor(f int) bool {
+	for _, u := range p.win {
+		if u.Issued {
+			continue
+		}
+		if inf := u.Dyn.Inst.Op.Info(); inf.Class == isa.ClassVecALU && inf.VFU == f {
+			return true
+		}
+	}
+	for _, u := range p.viq {
+		if inf := u.Dyn.Inst.Op.Info(); inf.Class == isa.ClassVecALU && inf.VFU == f {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package vm
+
+import "fmt"
+
+// pageWords is the number of 64-bit words per memory page (32 KB pages).
+const pageWords = 4096
+
+type page [pageWords]uint64
+
+// Memory is a sparse, paged, word-addressable memory image. Addresses are
+// byte addresses and must be 8-byte aligned; the simulated machines have no
+// sub-word accesses.
+type Memory struct {
+	pages map[uint64]*page
+
+	// one-entry lookup cache: most accesses hit the same page repeatedly
+	lastIdx  uint64
+	lastPage *page
+}
+
+// NewMemory returns an empty memory image.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// AlignmentError reports a misaligned memory access.
+type AlignmentError struct{ Addr uint64 }
+
+func (e *AlignmentError) Error() string {
+	return fmt.Sprintf("vm: misaligned memory access at %#x", e.Addr)
+}
+
+func (m *Memory) pageFor(wordIdx uint64, create bool) *page {
+	idx := wordIdx / pageWords
+	if m.lastPage != nil && m.lastIdx == idx {
+		return m.lastPage
+	}
+	p := m.pages[idx]
+	if p == nil && create {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	if p != nil {
+		m.lastIdx, m.lastPage = idx, p
+	}
+	return p
+}
+
+// ReadWord returns the word at byte address addr.
+func (m *Memory) ReadWord(addr uint64) (uint64, error) {
+	if addr%8 != 0 {
+		return 0, &AlignmentError{addr}
+	}
+	w := addr / 8
+	p := m.pageFor(w, false)
+	if p == nil {
+		return 0, nil // unbacked memory reads as zero
+	}
+	return p[w%pageWords], nil
+}
+
+// WriteWord stores a word at byte address addr.
+func (m *Memory) WriteWord(addr, val uint64) error {
+	if addr%8 != 0 {
+		return &AlignmentError{addr}
+	}
+	w := addr / 8
+	p := m.pageFor(w, true)
+	p[w%pageWords] = val
+	return nil
+}
+
+// MustRead is ReadWord for tests and result verification, panicking on
+// misalignment.
+func (m *Memory) MustRead(addr uint64) uint64 {
+	v, err := m.ReadWord(addr)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// MustWrite is WriteWord that panics on misalignment.
+func (m *Memory) MustWrite(addr, val uint64) {
+	if err := m.WriteWord(addr, val); err != nil {
+		panic(err)
+	}
+}
+
+// ReadWords copies n consecutive words starting at addr.
+func (m *Memory) ReadWords(addr uint64, n int) ([]uint64, error) {
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		v, err := m.ReadWord(addr + uint64(i)*8)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// WriteWords stores consecutive words starting at addr.
+func (m *Memory) WriteWords(addr uint64, vals []uint64) error {
+	for i, v := range vals {
+		if err := m.WriteWord(addr+uint64(i)*8, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PageCount returns the number of allocated pages (for tests).
+func (m *Memory) PageCount() int { return len(m.pages) }

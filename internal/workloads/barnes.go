@@ -1,0 +1,392 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+	"vlt/internal/vm"
+)
+
+// barnes models the SPLASH-2 Barnes-Hut n-body code's force-calculation
+// phase: every body traverses a quadtree (pointer chasing with an
+// explicit stack, data-dependent branches) and accumulates gravitational
+// accelerations through long floating-point dependency chains (sqrt,
+// divide). The tree is built on the host and shipped in the program's
+// initial memory image, matching the paper's focus on the dominant
+// force-calculation phase. Entirely scalar; bodies are split round-robin
+// across threads; a short serial reduction by thread 0 closes the run
+// (98% opportunity).
+const (
+	barnesTheta  = 0.5 // opening criterion: size < θ·dist
+	barnesEps    = 1.0 / 1024
+	barnesNodeW  = 9 // words per node
+	barnesStackW = 256
+	barnesMaxThr = 8
+	barnesUnroll = 5 // hot-loop unrolling: the walk exceeds the 4 KB lane I-cache
+)
+
+type bhNode struct {
+	cx, cy, mass float64
+	size         float64 // cell side length
+	leaf         bool
+	child        [4]int // node index+1; 0 = none
+}
+
+type bhTree struct {
+	nodes  []bhNode
+	bodies [][2]float64
+	masses []float64
+}
+
+// buildTree constructs a deterministic quadtree over [0,1)².
+func buildTree(p Params) *bhTree {
+	n := 96 * p.Scale
+	r := newRNG(909)
+	t := &bhTree{}
+	seen := map[[2]float64]bool{}
+	for i := 0; i < n; i++ {
+		pos := [2]float64{r.float(), r.float()}
+		for seen[pos] {
+			pos[0] = float64(math.Float64bits(pos[0])%4093) / 4096
+			pos[1] = r.float()
+		}
+		seen[pos] = true
+		t.bodies = append(t.bodies, pos)
+		t.masses = append(t.masses, 1+r.float())
+	}
+	// Node 0 is the root covering [0,1)².
+	t.nodes = []bhNode{{size: 1}}
+	type cell struct{ x, y, size float64 }
+	cells := []cell{{0, 0, 1}}
+	bodyOf := []int{-1} // body index stored at a leaf node, -1 for internal/empty
+	bodyOf[0] = -2      // -2 = empty leaf
+	var insert func(node, body int)
+	insert = func(node, body int) {
+		switch bodyOf[node] {
+		case -2: // empty: becomes a leaf
+			bodyOf[node] = body
+			return
+		case -1: // internal: descend
+		default: // occupied leaf: split
+			old := bodyOf[node]
+			bodyOf[node] = -1
+			insert(node, old)
+			insert(node, body)
+			return
+		}
+		c := cells[node]
+		half := c.size / 2
+		bx, by := t.bodies[body][0], t.bodies[body][1]
+		qx, qy := 0, 0
+		if bx >= c.x+half {
+			qx = 1
+		}
+		if by >= c.y+half {
+			qy = 1
+		}
+		q := qy*2 + qx
+		childIdx := t.nodes[node].child[q]
+		if childIdx == 0 {
+			t.nodes = append(t.nodes, bhNode{size: half})
+			cells = append(cells, cell{c.x + float64(qx)*half, c.y + float64(qy)*half, half})
+			bodyOf = append(bodyOf, -2)
+			childIdx = len(t.nodes) // stored +1
+			t.nodes[node].child[q] = childIdx
+		}
+		insert(childIdx-1, body)
+	}
+	for i := range t.bodies {
+		insert(0, i)
+	}
+	// Bottom-up centers of mass (children have larger indices than
+	// parents, so a reverse scan works).
+	for i := len(t.nodes) - 1; i >= 0; i-- {
+		nd := &t.nodes[i]
+		if bodyOf[i] >= 0 {
+			nd.leaf = true
+			nd.cx, nd.cy = t.bodies[bodyOf[i]][0], t.bodies[bodyOf[i]][1]
+			nd.mass = t.masses[bodyOf[i]]
+			continue
+		}
+		if bodyOf[i] == -2 {
+			nd.leaf = true // empty leaf: zero mass contributes nothing
+			continue
+		}
+		var m, sx, sy float64
+		for _, c := range nd.child {
+			if c == 0 {
+				continue
+			}
+			ch := t.nodes[c-1]
+			m += ch.mass
+			sx += ch.cx * ch.mass
+			sy += ch.cy * ch.mass
+		}
+		nd.mass = m
+		if m != 0 {
+			nd.cx, nd.cy = sx/m, sy/m
+		}
+	}
+	return t
+}
+
+func (t *bhTree) encode() []uint64 {
+	out := make([]uint64, len(t.nodes)*barnesNodeW)
+	for i, nd := range t.nodes {
+		w := out[i*barnesNodeW:]
+		w[0] = math.Float64bits(nd.cx)
+		w[1] = math.Float64bits(nd.cy)
+		w[2] = math.Float64bits(nd.mass)
+		w[3] = math.Float64bits(nd.size)
+		if nd.leaf {
+			w[4] = 1
+		}
+		for k, c := range nd.child {
+			w[5+k] = uint64(c)
+		}
+	}
+	return out
+}
+
+// force replays the simulated traversal exactly (same stack order, same
+// floating-point evaluation order). It accumulates accelerations and the
+// gravitational potential.
+func (t *bhTree) force(body int) (ax, ay, pot float64) {
+	x, y := t.bodies[body][0], t.bodies[body][1]
+	stack := []int{0}
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := t.nodes[node]
+		dx := nd.cx - x
+		dy := nd.cy - y
+		r2 := dx*dx + dy*dy
+		r2 += barnesEps
+		s := math.Sqrt(r2)
+		if !nd.leaf {
+			if !(nd.size < barnesTheta*s) {
+				for k := 0; k < 4; k++ {
+					if c := nd.child[k]; c != 0 {
+						stack = append(stack, c-1)
+					}
+				}
+				continue
+			}
+		}
+		d := r2 * s
+		inv := nd.mass / d
+		inv *= nd.size*nd.size/r2 + 1
+		pot += nd.mass / s
+		ax += dx * inv
+		ay += dy * inv
+	}
+	return
+}
+
+func buildBarnes(p Params) *asm.Program {
+	p = p.norm()
+	t := buildTree(p)
+	n := len(t.bodies)
+
+	b := asm.NewBuilder("barnes")
+	nodesAddr := b.Data("nodes", t.encode())
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, bd := range t.bodies {
+		xs[i], ys[i] = bd[0], bd[1]
+	}
+	xAddr := b.DataF("bx", xs)
+	yAddr := b.DataF("by", ys)
+	axAddr := b.Alloc("ax", n)
+	ayAddr := b.Alloc("ay", n)
+	potAddr := b.Alloc("pot", n)
+	stkAddr := b.Alloc("stacks", barnesMaxThr*barnesStackW)
+	finAddr := b.Alloc("fin", 1)
+
+	var (
+		body  = isa.R(10)
+		nReg  = isa.R(11)
+		sp    = isa.R(12) // stack byte offset
+		stk   = isa.R(13) // per-thread stack base
+		base  = isa.R(14) // current node byte address
+		tmp   = isa.R(15)
+		tmp2  = isa.R(16)
+		leaf  = isa.R(17)
+		cond  = isa.R(18)
+		fX    = isa.F(1)
+		fY    = isa.F(2)
+		fDx   = isa.F(3)
+		fDy   = isa.F(4)
+		fR2   = isa.F(5)
+		fInv  = isa.F(6)
+		fAx   = isa.F(7)
+		fAy   = isa.F(8)
+		fT    = isa.F(9)
+		fTh   = isa.F(10)
+		fEps  = isa.F(11)
+		fMass = isa.F(12)
+		fSz   = isa.F(13)
+		fS    = isa.F(14)
+		fPot  = isa.F(15)
+		fOne  = isa.F(16)
+	)
+
+	b.Mark(1)
+	b.FMovI(fTh, barnesTheta)
+	b.FMovI(fEps, barnesEps)
+	b.FMovI(fOne, 1)
+	// stack base for this thread
+	b.MulI(stk, asm.RegTID, barnesStackW*8)
+	b.MovA(tmp, stkAddr)
+	b.Add(stk, stk, tmp)
+	b.MovI(nReg, int64(n))
+	forThreadRR(b, body, nReg, func() {
+		b.SllI(tmp, body, 3)
+		b.MovA(tmp2, xAddr)
+		b.Add(tmp2, tmp2, tmp)
+		b.FLd(fX, tmp2, 0)
+		b.MovA(tmp2, yAddr)
+		b.Add(tmp2, tmp2, tmp)
+		b.FLd(fY, tmp2, 0)
+		b.FMovI(fAx, 0)
+		b.FMovI(fAy, 0)
+		b.FMovI(fPot, 0)
+		// push root (node 0)
+		b.St(asm.RegZero, stk, 0)
+		b.MovI(sp, 8)
+
+		// The walk is unrolled eight times, as the specializing compiler
+		// emits it in the real barnes code: the hot traversal exceeds the
+		// 4 KB lane instruction cache (the paper notes that cache suits
+		// "threads generated from tight nested loops" — barnes is not
+		// one), while fitting comfortably in the scalar units' 16 KB L1I.
+		loop := b.NewLabel("walk")
+		doneWalk := b.NewLabel("walkDone")
+		b.Bind(loop)
+		for seg := 0; seg < barnesUnroll; seg++ {
+			far := b.NewLabel(fmt.Sprintf("far%d", seg))
+			segEnd := b.NewLabel(fmt.Sprintf("segEnd%d", seg))
+			b.Beq(sp, asm.RegZero, doneWalk)
+			b.AddI(sp, sp, -8)
+			b.Add(tmp, stk, sp)
+			b.Ld(base, tmp, 0) // node index
+			b.MulI(base, base, barnesNodeW*8)
+			b.MovA(tmp, nodesAddr)
+			b.Add(base, base, tmp)
+			b.FLd(fDx, base, 0) // cx
+			b.FLd(fDy, base, 8) // cy
+			b.FLd(fMass, base, 16)
+			b.FLd(fSz, base, 24) // cell side length
+			b.Ld(leaf, base, 32)
+			b.FSub(fDx, fDx, fX)
+			b.FSub(fDy, fDy, fY)
+			b.FMul(fR2, fDx, fDx)
+			b.FMul(fT, fDy, fDy)
+			b.FAdd(fR2, fR2, fT)
+			b.FAdd(fR2, fR2, fEps)
+			b.FSqrt(fS, fR2) // distance, also used by the far-node force
+			b.Bne(leaf, asm.RegZero, far)
+			b.FMul(fT, fTh, fS)
+			b.FLt(cond, fSz, fT)
+			b.Bne(cond, asm.RegZero, far)
+			// near: push non-null children (indices stored +1)
+			for k := 0; k < 4; k++ {
+				skipK := b.NewLabel(fmt.Sprintf("skip%dChild%d", seg, k))
+				b.Ld(tmp, base, int64(40+8*k))
+				b.Beq(tmp, asm.RegZero, skipK)
+				b.AddI(tmp, tmp, -1)
+				b.Add(tmp2, stk, sp)
+				b.St(tmp, tmp2, 0)
+				b.AddI(sp, sp, 8)
+				b.Bind(skipK)
+			}
+			b.J(segEnd)
+			b.Bind(far)
+			b.FMul(fT, fR2, fS)
+			b.FDiv(fInv, fMass, fT)
+			// monopole correction from the cell extent (chained fp work)
+			b.FMul(fT, fSz, fSz)
+			b.FDiv(fT, fT, fR2)
+			b.FAdd(fT, fT, fOne)
+			b.FMul(fInv, fInv, fT)
+			b.FDiv(fT, fMass, fS)
+			b.FAdd(fPot, fPot, fT)
+			b.FMul(fT, fDx, fInv)
+			b.FAdd(fAx, fAx, fT)
+			b.FMul(fT, fDy, fInv)
+			b.FAdd(fAy, fAy, fT)
+			b.Bind(segEnd)
+		}
+		b.J(loop)
+		b.Bind(doneWalk)
+
+		b.SllI(tmp, body, 3)
+		b.MovA(tmp2, axAddr)
+		b.Add(tmp2, tmp2, tmp)
+		b.FSt(fAx, tmp2, 0)
+		b.MovA(tmp2, ayAddr)
+		b.Add(tmp2, tmp2, tmp)
+		b.FSt(fAy, tmp2, 0)
+		b.MovA(tmp2, potAddr)
+		b.Add(tmp2, tmp2, tmp)
+		b.FSt(fPot, tmp2, 0)
+	})
+	b.Bar()
+
+	// Serial reduction by thread 0 (region 0).
+	b.Mark(0)
+	skip := b.NewLabel("skipFin")
+	b.Bne(asm.RegTID, asm.RegZero, skip)
+	b.MovA(tmp, axAddr)
+	b.FMovI(fAx, 0)
+	b.MovI(body, 0)
+	fl := b.NewLabel("fin")
+	fld := b.NewLabel("finDone")
+	b.Bind(fl)
+	b.Bge(body, nReg, fld)
+	b.FLd(fT, tmp, 0)
+	b.FAdd(fAx, fAx, fT)
+	b.AddI(tmp, tmp, 8)
+	b.AddI(body, body, 1)
+	b.J(fl)
+	b.Bind(fld)
+	b.MovA(tmp, finAddr)
+	b.FSt(fAx, tmp, 0)
+	b.Bind(skip)
+	b.Halt()
+	return b.MustAssemble()
+}
+
+func verifyBarnes(machine *vm.VM, prog *asm.Program, p Params) error {
+	p = p.norm()
+	t := buildTree(p)
+	var fin float64
+	for i := range t.bodies {
+		ax, ay, pot := t.force(i)
+		gotX := math.Float64frombits(machine.Mem.MustRead(prog.Symbol("ax") + uint64(i)*8))
+		gotY := math.Float64frombits(machine.Mem.MustRead(prog.Symbol("ay") + uint64(i)*8))
+		gotP := math.Float64frombits(machine.Mem.MustRead(prog.Symbol("pot") + uint64(i)*8))
+		if gotX != ax || gotY != ay || gotP != pot {
+			return fmt.Errorf("barnes: body %d = (%v,%v,%v), want (%v,%v,%v)",
+				i, gotX, gotY, gotP, ax, ay, pot)
+		}
+		fin += ax
+	}
+	got := math.Float64frombits(machine.Mem.MustRead(prog.Symbol("fin")))
+	if got != fin {
+		return fmt.Errorf("barnes: fin = %v, want %v", got, fin)
+	}
+	return nil
+}
+
+// Barnes is the n-body tree-code workload (scalar threads, Figure 6).
+var Barnes = register(&Workload{
+	Name:        "barnes",
+	Description: "Barnes-Hut galaxy simulation (tree traversal, scalar)",
+	Class:       ScalarParallel,
+	Paper:       Table4Row{PercentVect: 0, AvgVL: 0, OpportunityPct: 98},
+	Build:       buildBarnes,
+	Verify:      verifyBarnes,
+})

@@ -1,0 +1,341 @@
+package workloads
+
+import (
+	"fmt"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+	"vlt/internal/vm"
+)
+
+// mpenc models the video encoder's dominant phases on integer pixel data:
+//
+//	A. motion search: per 16x16 macroblock, SAD against 2 candidate
+//	   positions in a reference frame (VL 16, one vector per pixel row);
+//	B. transform/quantize: per 8x8 subblock row, an integer transform
+//	   (VL 8);
+//	C. boundary filter: per macroblock, a 64-pixel smoothing pass (VL 64,
+//	   strip-mined so VLT partitions handle it);
+//	D. entropy coding: a serial scalar pass over sampled coefficients
+//	   (region 0, executed by thread 0 with all lanes reclaimed).
+//
+// The phase mix is calibrated to Table 4: 76% vectorization, average VL
+// 11.2, common VLs {8, 16, 64}, 78% opportunity.
+const (
+	mpencBlockDim      = 16 // macroblock is 16x16 pixels
+	mpencBlockPx       = mpencBlockDim * mpencBlockDim
+	mpencCands         = 2 // motion candidates per block
+	mpencEntropyStride = 12
+)
+
+func mpencBlocks(p Params) int { return 16 * p.Scale }
+
+func mpencData(p Params) (cur, ref []uint64) {
+	nb := mpencBlocks(p)
+	r := newRNG(303)
+	cur = make([]uint64, nb*mpencBlockPx)
+	for i := range cur {
+		cur[i] = uint64(r.intn(256))
+	}
+	// The reference frame has extra tail room for candidate offsets.
+	ref = make([]uint64, nb*mpencBlockPx+mpencCands*8)
+	for i := range ref {
+		ref[i] = uint64(r.intn(256))
+	}
+	return
+}
+
+func buildMpenc(p Params) *asm.Program {
+	p = p.norm()
+	nb := mpencBlocks(p)
+	cur, ref := mpencData(p)
+
+	b := asm.NewBuilder("mpenc")
+	curAddr := b.Data("cur", cur)
+	refAddr := b.Data("ref", ref)
+	coefAddr := b.Alloc("coef", nb*mpencBlockPx)
+	reconAddr := b.Alloc("recon", nb*64)
+	bestAddr := b.Alloc("best", nb)   // winning candidate index per block
+	sadAddr := b.Alloc("bestsad", nb) // winning SAD per block
+	sumAddr := b.Alloc("entropy", 1)
+	vecsumAddr := b.Alloc("vecsum", 1)
+
+	var (
+		tmp     = isa.R(1)
+		tmp2    = isa.R(2)
+		curBase = isa.R(3)
+		refBase = isa.R(4)
+		sad     = isa.R(5)
+		best    = isa.R(6)
+		bestIdx = isa.R(7)
+		cand    = isa.R(8)
+		candN   = isa.R(9)
+		blk     = isa.R(10)
+		nbReg   = isa.R(11)
+		rowIdx  = isa.R(12)
+		rowN    = isa.R(13)
+		vl      = isa.R(14)
+		pCur    = isa.R(15)
+		pRef    = isa.R(16)
+		red     = isa.R(17)
+		outP    = isa.R(18)
+		sb      = isa.R(19)
+		sbN     = isa.R(20)
+		c3      = isa.R(21)
+		c7      = isa.R(22)
+		c1      = isa.R(23)
+		rem     = isa.R(24)
+		vC      = isa.V(1)
+		vR      = isa.V(2)
+		vD      = isa.V(3)
+	)
+	rowBytes := int64(mpencBlockDim * 8)
+
+	b.MovI(c3, 3)
+	b.MovI(c7, 7)
+	b.MovI(c1, 1)
+	b.MovI(nbReg, int64(nb))
+
+	// --- Phase A: motion search (VL 16) ---
+	b.Mark(1)
+	forThreadRR(b, blk, nbReg, func() {
+		b.MulI(curBase, blk, int64(mpencBlockPx*8))
+		b.MovA(tmp, curAddr)
+		b.Add(curBase, curBase, tmp)
+		b.MovI(tmp, mpencBlockDim)
+		b.SetVL(vl, tmp)
+		b.MovI(best, 1<<40)
+		b.MovI(bestIdx, 0)
+		b.MovI(candN, mpencCands)
+		forRange(b, cand, candN, func() {
+			// refBase = ref + blk*blockPx*8 + cand*64
+			b.MulI(refBase, blk, int64(mpencBlockPx*8))
+			b.MovA(tmp, refAddr)
+			b.Add(refBase, refBase, tmp)
+			b.SllI(tmp, cand, 6)
+			b.Add(refBase, refBase, tmp)
+			b.MovI(sad, 0)
+			b.MovI(rowN, mpencBlockDim)
+			forRange(b, rowIdx, rowN, func() {
+				b.MulI(tmp, rowIdx, rowBytes)
+				b.Add(pCur, curBase, tmp)
+				b.Add(pRef, refBase, tmp)
+				b.VLd(vC, pCur)
+				b.VLd(vR, pRef)
+				b.VAbsDiff(vD, vC, vR)
+				b.VRedSum(red, vD)
+				b.Add(sad, sad, red)
+			})
+			keep := b.NewLabel("keep")
+			b.Bge(sad, best, keep)
+			b.Mov(best, sad)
+			b.Mov(bestIdx, cand)
+			b.Bind(keep)
+		})
+		b.MovA(outP, bestAddr)
+		b.SllI(tmp, blk, 3)
+		b.Add(outP, outP, tmp)
+		b.St(bestIdx, outP, 0)
+		b.MovA(outP, sadAddr)
+		b.Add(outP, outP, tmp)
+		b.St(best, outP, 0)
+	})
+
+	// --- Phase B: integer transform (VL 8) ---
+	b.Mark(2)
+	forThreadRR(b, blk, nbReg, func() {
+		b.MulI(curBase, blk, int64(mpencBlockPx*8))
+		b.MovA(tmp, curAddr)
+		b.Add(curBase, curBase, tmp)
+		b.MulI(outP, blk, int64(mpencBlockPx*8))
+		b.MovA(tmp, coefAddr)
+		b.Add(outP, outP, tmp)
+		b.MovI(tmp, 8)
+		b.SetVL(vl, tmp)
+		b.MovI(sbN, 4)
+		forRange(b, sb, sbN, func() {
+			b.MovI(rowN, 8)
+			forRange(b, rowIdx, rowN, func() {
+				// offset = ((sb/2)*8 + row)*16 + (sb%2)*8 words
+				b.SrlI(tmp, sb, 1)
+				b.SllI(tmp, tmp, 3)
+				b.Add(tmp, tmp, rowIdx)
+				b.MulI(tmp, tmp, rowBytes)
+				b.AndI(tmp2, sb, 1)
+				b.SllI(tmp2, tmp2, 6)
+				b.Add(tmp, tmp, tmp2)
+				b.Add(pCur, curBase, tmp)
+				b.Add(pRef, outP, tmp)
+				b.VLd(vC, pCur)
+				b.VMulS(vC, vC, c3)
+				b.VAddS(vC, vC, c7)
+				b.VSrlS(vC, vC, c1)
+				b.VSubS(vC, vC, c3)
+				b.VSt(vC, pRef)
+			})
+		})
+	})
+
+	// --- Phase C: boundary filter (VL 64, strip-mined) ---
+	b.Mark(3)
+	forThreadRR(b, blk, nbReg, func() {
+		b.MulI(curBase, blk, int64(mpencBlockPx*8))
+		b.MovA(tmp, curAddr)
+		b.Add(curBase, curBase, tmp)
+		b.MulI(refBase, blk, int64(mpencBlockPx*8))
+		b.MovA(tmp, refAddr)
+		b.Add(refBase, refBase, tmp)
+		b.MulI(outP, blk, int64(64*8))
+		b.MovA(tmp, reconAddr)
+		b.Add(outP, outP, tmp)
+		b.MovI(rem, 64)
+		stripMine(b, rem, vl, func() {
+			b.VLd(vC, curBase)
+			b.VLd(vR, refBase)
+			b.VAdd(vD, vC, vR)
+			b.VSrlS(vD, vD, c1)
+			b.VSt(vD, outP)
+			b.SllI(tmp, vl, 3)
+			b.Add(curBase, curBase, tmp)
+			b.Add(refBase, refBase, tmp)
+			b.Add(outP, outP, tmp)
+		})
+	})
+
+	// --- Phase D: serial entropy pass. It opens with a vectorizable
+	// coefficient sum (VL 64 once thread 0 reclaims all lanes via
+	// VLTCFG; capped at the partition's vector length otherwise)
+	// followed by the scalar bit-twiddling loop. ---
+	vltPhase(b, p, func() {
+		b.MovA(pCur, coefAddr)
+		b.MovI(rem, int64(nb*mpencBlockPx))
+		b.MovI(red, 0)
+		stripMine(b, rem, vl, func() {
+			b.VLd(vC, pCur)
+			b.VRedSum(tmp, vC)
+			b.Add(red, red, tmp)
+			b.SllI(tmp, vl, 3)
+			b.Add(pCur, pCur, tmp)
+		})
+		b.MovA(tmp, vecsumAddr)
+		b.St(red, tmp, 0)
+
+		b.MovA(pCur, coefAddr)
+		b.MovI(sad, 0) // checksum
+		b.MovI(rowIdx, 0)
+		b.MovI(rowN, int64(nb*mpencBlockPx/mpencEntropyStride))
+		loop := b.NewLabel("entropy")
+		done := b.NewLabel("entropyDone")
+		b.Bind(loop)
+		b.Bge(rowIdx, rowN, done)
+		b.Ld(tmp, pCur, 0)
+		odd := b.NewLabel("odd")
+		join := b.NewLabel("join")
+		b.AndI(tmp2, tmp, 1)
+		b.Bne(tmp2, asm.RegZero, odd)
+		b.Add(sad, sad, tmp)
+		b.J(join)
+		b.Bind(odd)
+		b.SllI(tmp, tmp, 1)
+		b.Add(sad, sad, tmp)
+		b.Bind(join)
+		b.AddI(pCur, pCur, int64(mpencEntropyStride*8))
+		b.AddI(rowIdx, rowIdx, 1)
+		b.J(loop)
+		b.Bind(done)
+		b.MovA(tmp, sumAddr)
+		b.St(sad, tmp, 0)
+	})
+	b.Halt()
+	return b.MustAssemble()
+}
+
+// mpencReference reproduces the kernel exactly in Go.
+func mpencReference(p Params) (best, bestSAD, coef, recon []uint64, entropy, vecsum uint64) {
+	nb := mpencBlocks(p)
+	cur, ref := mpencData(p)
+	best = make([]uint64, nb)
+	bestSAD = make([]uint64, nb)
+	coef = make([]uint64, nb*mpencBlockPx)
+	recon = make([]uint64, nb*64)
+	for blk := 0; blk < nb; blk++ {
+		cb := blk * mpencBlockPx
+		bs, bi := uint64(1<<40), uint64(0)
+		for cand := 0; cand < mpencCands; cand++ {
+			rb := blk*mpencBlockPx + cand*8
+			var sad uint64
+			for i := 0; i < mpencBlockPx; i++ {
+				d := int64(cur[cb+i]) - int64(ref[rb+i])
+				if d < 0 {
+					d = -d
+				}
+				sad += uint64(d)
+			}
+			if sad < bs {
+				bs, bi = sad, uint64(cand)
+			}
+		}
+		best[blk], bestSAD[blk] = bi, bs
+		for i := 0; i < mpencBlockPx; i++ {
+			coef[cb+i] = (cur[cb+i]*3+7)>>1 - 3
+		}
+		for i := 0; i < 64; i++ {
+			recon[blk*64+i] = (cur[cb+i] + ref[cb+i]) >> 1
+		}
+	}
+	for i := 0; i < nb*mpencBlockPx/mpencEntropyStride; i++ {
+		v := coef[i*mpencEntropyStride]
+		if v&1 != 0 {
+			entropy += v << 1
+		} else {
+			entropy += v
+		}
+	}
+	for _, c := range coef {
+		vecsum += c
+	}
+	return
+}
+
+func verifyMpenc(machine *vm.VM, prog *asm.Program, p Params) error {
+	p = p.norm()
+	nb := mpencBlocks(p)
+	best, bestSAD, coef, recon, entropy, vecsum := mpencReference(p)
+	for blk := 0; blk < nb; blk++ {
+		if got := machine.Mem.MustRead(prog.Symbol("best") + uint64(blk)*8); got != best[blk] {
+			return fmt.Errorf("mpenc: best[%d] = %d, want %d", blk, got, best[blk])
+		}
+		if got := machine.Mem.MustRead(prog.Symbol("bestsad") + uint64(blk)*8); got != bestSAD[blk] {
+			return fmt.Errorf("mpenc: bestsad[%d] = %d, want %d", blk, got, bestSAD[blk])
+		}
+	}
+	for i, want := range coef {
+		if got := machine.Mem.MustRead(prog.Symbol("coef") + uint64(i)*8); got != want {
+			return fmt.Errorf("mpenc: coef[%d] = %d, want %d", i, got, want)
+		}
+	}
+	for i, want := range recon {
+		if got := machine.Mem.MustRead(prog.Symbol("recon") + uint64(i)*8); got != want {
+			return fmt.Errorf("mpenc: recon[%d] = %d, want %d", i, got, want)
+		}
+	}
+	if got := machine.Mem.MustRead(prog.Symbol("entropy")); got != entropy {
+		return fmt.Errorf("mpenc: entropy checksum = %d, want %d", got, entropy)
+	}
+	if got := machine.Mem.MustRead(prog.Symbol("vecsum")); got != vecsum {
+		return fmt.Errorf("mpenc: vecsum = %d, want %d", got, vecsum)
+	}
+	return nil
+}
+
+// Mpenc is the video-encoding workload (short/medium vectors).
+var Mpenc = register(&Workload{
+	Name:        "mpenc",
+	Description: "video encoding (motion search, transform, filter, entropy)",
+	Class:       ShortVector,
+	Paper: Table4Row{
+		PercentVect: 76, AvgVL: 11.2, CommonVLs: []int{8, 16, 64}, OpportunityPct: 78,
+	},
+	Build:  buildMpenc,
+	Verify: verifyMpenc,
+})

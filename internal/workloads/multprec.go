@@ -1,0 +1,274 @@
+package workloads
+
+import (
+	"fmt"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+	"vlt/internal/vm"
+)
+
+// multprec models multiprecision array arithmetic: an array of numbers,
+// each D=24 base-2^32 digits stored one digit per word. Per number the
+// kernel performs a digitwise add (VL 24), a digitwise scale over the
+// normalized digits (VL 23), and a scalar carry-propagation pass — the
+// serial recurrence that keeps the benchmark 71% vectorized. A bulk
+// VL-64 checksum pass over the packed digit array supplies the long
+// vectors in the paper's "common VLs" column, and a serial compare phase
+// by thread 0 yields the 81% opportunity.
+const (
+	multprecDigits     = 24
+	multprecCarryIters = 8         // digits normalized per number (scalar chain)
+	multprecMask40     = 1<<40 - 1 // normalization mask for the scaled digits
+	multprecCmpStride  = 6         // serial compare sampling stride
+)
+
+func multprecCount(p Params) int { return 24 * p.Scale }
+
+func multprecData(p Params) (a, bn []uint64) {
+	m := multprecCount(p)
+	r := newRNG(505)
+	a = make([]uint64, m*multprecDigits)
+	bn = make([]uint64, m*multprecDigits)
+	for i := range a {
+		a[i] = uint64(r.next() & 0xFFFFFFFF)
+		bn[i] = uint64(r.next() & 0xFFFFFFFF)
+	}
+	return
+}
+
+func buildMultprec(p Params) *asm.Program {
+	p = p.norm()
+	m := multprecCount(p)
+	aVals, bVals := multprecData(p)
+
+	b := asm.NewBuilder("multprec")
+	aAddr := b.Data("A", aVals)
+	bAddr := b.Data("B", bVals)
+	sumAddr := b.Alloc("S", m*multprecDigits) // digitwise sums (normalized prefix)
+	sclAddr := b.Alloc("T", m*multprecDigits) // scaled digits
+	chkAddr := b.Alloc("chk", 16)             // per-thread checksums
+	cmpAddr := b.Alloc("cmp", 1)              // serial compare result
+
+	var (
+		num    = isa.R(10)
+		mReg   = isa.R(11)
+		pA     = isa.R(12)
+		pB     = isa.R(13)
+		pS     = isa.R(14)
+		pT     = isa.R(15)
+		tmp    = isa.R(16)
+		vl     = isa.R(17)
+		carry  = isa.R(18)
+		d      = isa.R(19)
+		dN     = isa.R(20)
+		c3     = isa.R(21)
+		c7     = isa.R(22)
+		c2     = isa.R(27)
+		mask   = isa.R(23)
+		mask40 = isa.R(28)
+		acc    = isa.R(24)
+		rem    = isa.R(25)
+		red    = isa.R(26)
+		vA     = isa.V(1)
+		vB     = isa.V(2)
+		vS     = isa.V(3)
+	)
+	numBytes := int64(multprecDigits * 8)
+
+	b.MovI(c3, 3)
+	b.MovI(c7, 7)
+	b.MovI(c2, 2)
+	b.MovI(mask, 0xFFFFFFFF)
+	b.MovI(mask40, multprecMask40)
+	b.MovI(mReg, int64(m))
+
+	// --- parallel per-number arithmetic ---
+	b.Mark(1)
+	forThreadRR(b, num, mReg, func() {
+		b.MulI(tmp, num, numBytes)
+		b.MovA(pA, aAddr)
+		b.Add(pA, pA, tmp)
+		b.MovA(pB, bAddr)
+		b.Add(pB, pB, tmp)
+		b.MovA(pS, sumAddr)
+		b.Add(pS, pS, tmp)
+		b.MovA(pT, sclAddr)
+		b.Add(pT, pT, tmp)
+
+		// digitwise add, VL 24 (strip-mined: a VLT partition may cap VL
+		// below the digit count)
+		b.MovI(rem, multprecDigits)
+		stripMine(b, rem, vl, func() {
+			b.VLd(vA, pA)
+			b.VLd(vB, pB)
+			b.VAdd(vS, vA, vB)
+			b.VSt(vS, pS)
+			b.SllI(tmp, vl, 3)
+			b.Add(pA, pA, tmp)
+			b.Add(pB, pB, tmp)
+			b.Add(pS, pS, tmp)
+		})
+		b.AddI(pA, pA, -int64(multprecDigits*8))
+		b.AddI(pS, pS, -int64(multprecDigits*8))
+
+		// digitwise scale/normalize over the 23 upper digits
+		b.AddI(pA, pA, 8)
+		b.AddI(pT, pT, 8)
+		b.MovI(rem, multprecDigits-1)
+		stripMine(b, rem, vl, func() {
+			b.VLd(vA, pA)
+			b.VMulS(vA, vA, c3)
+			b.VAddS(vA, vA, c7)
+			b.VAndS(vA, vA, mask40)
+			b.VSrlS(vA, vA, c2)
+			b.VSt(vA, pT)
+			b.SllI(tmp, vl, 3)
+			b.Add(pA, pA, tmp)
+			b.Add(pT, pT, tmp)
+		})
+
+		// scalar carry propagation over the first digits of S
+		b.MovI(carry, 0)
+		b.MovI(dN, multprecCarryIters)
+		forRange(b, d, dN, func() {
+			b.Ld(tmp, pS, 0)
+			b.Add(tmp, tmp, carry)
+			b.SrlI(carry, tmp, 32)
+			b.And(tmp, tmp, mask)
+			b.St(tmp, pS, 0)
+			b.AddI(pS, pS, 8)
+		})
+	})
+	b.Bar()
+
+	// --- bulk checksum over the packed sum array (VL 64 strips) ---
+	b.Mark(2)
+	// Each thread checksums a contiguous slice of the digit array.
+	b.MovI(tmp, int64(m*multprecDigits))
+	b.Div(rem, tmp, asm.RegNTH) // words per thread
+	b.Mul(tmp, rem, asm.RegTID) // start word
+	b.MovA(pS, sumAddr)
+	b.SllI(tmp, tmp, 3)
+	b.Add(pS, pS, tmp)
+	b.MovI(acc, 0)
+	stripMine(b, rem, vl, func() {
+		b.VLd(vA, pS)
+		b.VRedSum(red, vA)
+		b.Add(acc, acc, red)
+		b.SllI(tmp, vl, 3)
+		b.Add(pS, pS, tmp)
+	})
+	b.MovA(tmp, chkAddr)
+	b.SllI(red, asm.RegTID, 3)
+	b.Add(tmp, tmp, red)
+	b.St(acc, tmp, 0)
+
+	// --- serial full-precision compare by thread 0 ---
+	vltPhase(b, p, func() {
+		b.MovA(pS, sumAddr)
+		b.MovA(pT, sclAddr)
+		b.MovI(acc, 0)
+		b.MovI(d, 0)
+		b.MovI(dN, int64(m*multprecDigits/multprecCmpStride))
+		loop := b.NewLabel("cmp")
+		done := b.NewLabel("cmpDone")
+		b.Bind(loop)
+		b.Bge(d, dN, done)
+		b.Ld(tmp, pS, 0)
+		b.Ld(red, pT, 0)
+		ge := b.NewLabel("ge")
+		join := b.NewLabel("join")
+		b.Bltu(tmp, red, ge)
+		b.AddI(acc, acc, 1)
+		b.J(join)
+		b.Bind(ge)
+		b.AddI(acc, acc, 2)
+		b.Bind(join)
+		b.AddI(pS, pS, multprecCmpStride*8)
+		b.AddI(pT, pT, multprecCmpStride*8)
+		b.AddI(d, d, 1)
+		b.J(loop)
+		b.Bind(done)
+		b.MovA(tmp, cmpAddr)
+		b.St(acc, tmp, 0)
+	})
+	b.Halt()
+	return b.MustAssemble()
+}
+
+func multprecReference(p Params, threads int) (s, t []uint64, chk []uint64, cmp uint64) {
+	m := multprecCount(p)
+	aVals, bVals := multprecData(p)
+	s = make([]uint64, m*multprecDigits)
+	t = make([]uint64, m*multprecDigits)
+	for n := 0; n < m; n++ {
+		base := n * multprecDigits
+		for i := 0; i < multprecDigits; i++ {
+			s[base+i] = aVals[base+i] + bVals[base+i]
+		}
+		for i := 1; i < multprecDigits; i++ {
+			t[base+i] = (aVals[base+i]*3 + 7) & multprecMask40 >> 2
+		}
+		var carry uint64
+		for i := 0; i < multprecCarryIters; i++ {
+			v := s[base+i] + carry
+			carry = v >> 32
+			s[base+i] = v & 0xFFFFFFFF
+		}
+	}
+	chk = make([]uint64, threads)
+	words := m * multprecDigits
+	per := words / threads
+	for tid := 0; tid < threads; tid++ {
+		var acc uint64
+		for i := tid * per; i < tid*per+per; i++ {
+			acc += s[i]
+		}
+		chk[tid] = acc
+	}
+	for i := 0; i < words/multprecCmpStride; i++ {
+		if s[i*multprecCmpStride] < t[i*multprecCmpStride] {
+			cmp += 2
+		} else {
+			cmp++
+		}
+	}
+	return
+}
+
+func verifyMultprec(machine *vm.VM, prog *asm.Program, p Params) error {
+	p = p.norm()
+	s, t, chk, cmp := multprecReference(p, p.Threads)
+	for i, want := range s {
+		if got := machine.Mem.MustRead(prog.Symbol("S") + uint64(i)*8); got != want {
+			return fmt.Errorf("multprec: S[%d] = %d, want %d", i, got, want)
+		}
+	}
+	for i, want := range t {
+		if got := machine.Mem.MustRead(prog.Symbol("T") + uint64(i)*8); got != want {
+			return fmt.Errorf("multprec: T[%d] = %d, want %d", i, got, want)
+		}
+	}
+	for tid, want := range chk {
+		if got := machine.Mem.MustRead(prog.Symbol("chk") + uint64(tid)*8); got != want {
+			return fmt.Errorf("multprec: chk[%d] = %d, want %d", tid, got, want)
+		}
+	}
+	if got := machine.Mem.MustRead(prog.Symbol("cmp")); got != cmp {
+		return fmt.Errorf("multprec: cmp = %d, want %d", got, cmp)
+	}
+	return nil
+}
+
+// Multprec is the multiprecision array arithmetic workload.
+var Multprec = register(&Workload{
+	Name:        "multprec",
+	Description: "multiprecision array arithmetic (digit vectors + carry chains)",
+	Class:       ShortVector,
+	Paper: Table4Row{
+		PercentVect: 71, AvgVL: 25.2, CommonVLs: []int{23, 24, 64}, OpportunityPct: 81,
+	},
+	Build:  buildMultprec,
+	Verify: verifyMultprec,
+})

@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+	"vlt/internal/vm"
+)
+
+// mxm sizes: C[N][M] = A[N][K] * B[K][M]. M is the vectorized dimension
+// (unit-stride rows of B and C, VL 64).
+func mxmSizes(p Params) (n, k, m int) { return 48 * p.Scale, 24, 64 }
+
+func mxmData(p Params) (a, bm []float64) {
+	n, k, m := mxmSizes(p)
+	r := newRNG(101)
+	a = make([]float64, n*k)
+	for i := range a {
+		a[i] = r.float()
+	}
+	bm = make([]float64, k*m)
+	for i := range bm {
+		bm[i] = r.float()
+	}
+	return
+}
+
+func buildMXM(p Params) *asm.Program {
+	p = p.norm()
+	n, k, m := mxmSizes(p)
+	aVals, bVals := mxmData(p)
+
+	b := asm.NewBuilder("mxm")
+	aAddr := b.Data("A", f64(aVals))
+	bAddr := b.Data("B", f64(bVals))
+	cAddr := b.Alloc("C", n*m)
+
+	var (
+		row   = isa.R(10)
+		nReg  = isa.R(11)
+		ptrC  = isa.R(12)
+		rem   = isa.R(13)
+		vl    = isa.R(14)
+		ptrA  = isa.R(15)
+		kIdx  = isa.R(16)
+		kReg  = isa.R(17)
+		ptrBk = isa.R(18)
+		tmp   = isa.R(19)
+		col   = isa.R(20)
+		fA    = isa.F(1)
+		fZero = isa.F(2)
+		vAcc  = isa.V(1)
+		vB    = isa.V(2)
+	)
+
+	b.Mark(1)
+	b.FMovI(fZero, 0)
+	b.MovI(nReg, int64(n))
+	b.MovI(kReg, int64(k))
+	b.MovI(tmp, int64(m))
+	b.SetVL(vl, tmp)
+	forThreadRR(b, row, nReg, func() {
+		// ptrC = C + row*M*8; ptrA = A + row*K*8
+		b.MulI(ptrC, row, int64(m*8))
+		b.MovA(tmp, cAddr)
+		b.Add(ptrC, ptrC, tmp)
+		b.MulI(ptrA, row, int64(k*8))
+		b.MovA(tmp, aAddr)
+		b.Add(ptrA, ptrA, tmp)
+		// Software prefetch of the next rows of A (the vectorizing
+		// compiler's streaming prefetch): a vector load into a scratch
+		// register warms the L2 ahead of the scalar A-element loads.
+		b.VLd(isa.V(9), ptrA)
+		b.MovI(col, 0) // byte offset of current strip within the row
+		b.MovI(rem, int64(m))
+		stripMine(b, rem, vl, func() {
+			b.VBcastF(vAcc, fZero)
+			// ptrBk = B + col
+			b.MovA(ptrBk, bAddr)
+			b.Add(ptrBk, ptrBk, col)
+			forRange(b, kIdx, kReg, func() {
+				b.SllI(tmp, kIdx, 3)
+				b.Add(tmp, tmp, ptrA)
+				b.FLd(fA, tmp, 0) // A[row][k]
+				b.VLd(vB, ptrBk)  // B[k][col:col+vl]
+				b.VFMAS(vAcc, vB, fA, vAcc)
+				b.AddI(ptrBk, ptrBk, int64(m*8))
+			})
+			b.VSt(vAcc, ptrC)
+			b.SllI(tmp, vl, 3)
+			b.Add(ptrC, ptrC, tmp)
+			b.Add(col, col, tmp)
+		})
+	})
+	b.Mark(0)
+	b.Bar()
+	b.Halt()
+	return b.MustAssemble()
+}
+
+func verifyMXM(machine *vm.VM, prog *asm.Program, p Params) error {
+	p = p.norm()
+	n, k, m := mxmSizes(p)
+	aVals, bVals := mxmData(p)
+	cAddr := prog.Symbol("C")
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			want := 0.0
+			for kk := 0; kk < k; kk++ {
+				// Same evaluation order as the simulated VFMA chain.
+				want = bVals[kk*m+j]*aVals[i*k+kk] + want
+			}
+			got := math.Float64frombits(machine.Mem.MustRead(cAddr + uint64(i*m+j)*8))
+			if got != want {
+				return fmt.Errorf("mxm: C[%d][%d] = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	return nil
+}
+
+// MXM is the dense matrix multiply workload (long vectors, VL 64).
+var MXM = register(&Workload{
+	Name:        "mxm",
+	Description: "dense matrix multiply (PERFECT club kernel)",
+	Class:       LongVector,
+	Paper:       Table4Row{PercentVect: 96, AvgVL: 64.0, CommonVLs: []int{64}},
+	Build:       buildMXM,
+	Verify:      verifyMXM,
+})

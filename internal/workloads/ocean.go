@@ -1,0 +1,168 @@
+package workloads
+
+import (
+	"fmt"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+	"vlt/internal/vm"
+)
+
+// ocean models the SPLASH-2 ocean simulation's relaxation solver: red-
+// black Gauss-Seidel sweeps over a 2D grid, written as scalar code (the
+// paper's compiler finds nothing to vectorize in the original program).
+// Threads split the interior rows; every color of every sweep ends at a
+// barrier. A small serial boundary-condition update by thread 0 between
+// sweeps leaves the paper's 96% opportunity.
+//
+// Values are integers and the update is (north+south+west+east)>>2, so
+// results are exactly reproducible.
+const oceanSweeps = 2
+
+func oceanDim(p Params) int { return 96*p.Scale + 2 }
+
+func oceanData(p Params) []uint64 {
+	g := oceanDim(p)
+	r := newRNG(808)
+	grid := make([]uint64, g*g)
+	for i := range grid {
+		grid[i] = uint64(r.intn(1 << 20))
+	}
+	return grid
+}
+
+func buildOcean(p Params) *asm.Program {
+	p = p.norm()
+	g := oceanDim(p)
+	grid := oceanData(p)
+
+	b := asm.NewBuilder("ocean")
+	gAddr := b.Data("grid", grid)
+
+	var (
+		row   = isa.R(10)
+		nReg  = isa.R(11)
+		col   = isa.R(12)
+		colN  = isa.R(13)
+		pC    = isa.R(14)
+		tmp   = isa.R(15)
+		sum   = isa.R(16)
+		north = isa.R(17)
+		south = isa.R(18)
+		east  = isa.R(19)
+		color = isa.R(20)
+		start = isa.R(21)
+		bnd   = isa.R(22)
+	)
+	rowBytes := int64(g * 8)
+
+	for sweep := 0; sweep < oceanSweeps; sweep++ {
+		for c := 0; c < 2; c++ {
+			b.Mark(1)
+			b.MovI(color, int64(c))
+			b.MovI(nReg, int64(g-2))
+			forThreadRR(b, row, nReg, func() {
+				// first interior column of this color in row+1:
+				// start = 1 + ((row+1 + color) & 1)
+				b.AddI(start, row, 1)
+				b.Add(start, start, color)
+				b.AndI(start, start, 1)
+				b.AddI(start, start, 1)
+				// pC = grid + (row+1)*rowBytes + start*8
+				b.AddI(tmp, row, 1)
+				b.MulI(tmp, tmp, rowBytes)
+				b.MovA(pC, gAddr)
+				b.Add(pC, pC, tmp)
+				b.SllI(tmp, start, 3)
+				b.Add(pC, pC, tmp)
+				b.Mov(col, start)
+				b.MovI(colN, int64(g-1))
+				cl := b.NewLabel("cells")
+				cld := b.NewLabel("cellsDone")
+				b.Bind(cl)
+				b.Bge(col, colN, cld)
+				b.AddI(tmp, pC, -rowBytes)
+				b.Ld(north, tmp, 0)
+				b.AddI(tmp, pC, rowBytes)
+				b.Ld(south, tmp, 0)
+				b.Ld(east, pC, 8)
+				b.Ld(sum, pC, -8) // west
+				b.Add(sum, sum, north)
+				b.Add(sum, sum, south)
+				b.Add(sum, sum, east)
+				b.SrlI(sum, sum, 2)
+				b.St(sum, pC, 0)
+				b.AddI(pC, pC, 16)
+				b.AddI(col, col, 2)
+				b.J(cl)
+				b.Bind(cld)
+			})
+			b.Bar()
+		}
+		// Serial boundary update by thread 0 (region 0): copy the
+		// first interior row onto the top boundary.
+		b.Mark(0)
+		skip := b.NewLabel("skipBnd")
+		b.Bne(asm.RegTID, asm.RegZero, skip)
+		b.MovA(pC, gAddr)
+		b.MovI(col, 0)
+		b.MovI(colN, int64(g))
+		bl := b.NewLabel("bnd")
+		bld := b.NewLabel("bndDone")
+		b.Bind(bl)
+		b.Bge(col, colN, bld)
+		b.Ld(bnd, pC, rowBytes)
+		b.St(bnd, pC, 0)
+		b.AddI(pC, pC, 8)
+		b.AddI(col, col, 1)
+		b.J(bl)
+		b.Bind(bld)
+		b.Bind(skip)
+		b.Bar()
+	}
+	b.Halt()
+	return b.MustAssemble()
+}
+
+func oceanReference(p Params) []uint64 {
+	g := oceanDim(p)
+	grid := oceanData(p)
+	for sweep := 0; sweep < oceanSweeps; sweep++ {
+		for c := 0; c < 2; c++ {
+			for i := 1; i < g-1; i++ {
+				start := 1 + ((i + c) & 1)
+				for j := start; j < g-1; j += 2 {
+					sum := grid[(i-1)*g+j] + grid[(i+1)*g+j] + grid[i*g+j+1] + grid[i*g+j-1]
+					grid[i*g+j] = sum >> 2
+				}
+			}
+		}
+		for j := 0; j < g; j++ {
+			grid[j] = grid[g+j]
+		}
+	}
+	return grid
+}
+
+func verifyOcean(machine *vm.VM, prog *asm.Program, p Params) error {
+	p = p.norm()
+	g := oceanDim(p)
+	want := oceanReference(p)
+	base := prog.Symbol("grid")
+	for i := 0; i < g*g; i++ {
+		if got := machine.Mem.MustRead(base + uint64(i)*8); got != want[i] {
+			return fmt.Errorf("ocean: grid[%d][%d] = %d, want %d", i/g, i%g, got, want[i])
+		}
+	}
+	return nil
+}
+
+// Ocean is the grid-relaxation workload (scalar threads, Figure 6).
+var Ocean = register(&Workload{
+	Name:        "ocean",
+	Description: "eddy currents in ocean basin (red-black relaxation, scalar)",
+	Class:       ScalarParallel,
+	Paper:       Table4Row{PercentVect: 0, AvgVL: 0, OpportunityPct: 96},
+	Build:       buildOcean,
+	Verify:      verifyOcean,
+})

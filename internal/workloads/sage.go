@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+	"vlt/internal/vm"
+)
+
+// sage models the hydrodynamics code's dominant phase: repeated 5-point
+// stencil sweeps over a 2D grid, vectorized along the unit-stride row
+// dimension with long vectors. Two buffers alternate (Jacobi-style), with
+// a barrier between sweeps.
+const sageSweeps = 3
+
+func sageSizes(p Params) (rows, cols int) { return 32*p.Scale + 2, 130 }
+
+func sageData(p Params) []float64 {
+	rows, cols := sageSizes(p)
+	r := newRNG(202)
+	g := make([]float64, rows*cols)
+	for i := range g {
+		g[i] = r.float()
+	}
+	return g
+}
+
+func buildSage(p Params) *asm.Program {
+	p = p.norm()
+	rows, cols := sageSizes(p)
+	init := sageData(p)
+
+	b := asm.NewBuilder("sage")
+	aAddr := b.Data("grid0", f64(init))
+	bAddr := b.Data("grid1", f64(init))
+
+	var (
+		row    = isa.R(10)
+		nReg   = isa.R(11)
+		rem    = isa.R(14)
+		vl     = isa.R(15)
+		pC     = isa.R(16) // &src[row][j]
+		pD     = isa.R(17) // &dst[row][j]
+		tmp    = isa.R(18)
+		sweep  = isa.R(19)
+		fQ     = isa.F(1)
+		vUp    = isa.V(1)
+		vDown  = isa.V(2)
+		vLeft  = isa.V(3)
+		vRight = isa.V(4)
+		vSum   = isa.V(5)
+	)
+	rowBytes := int64(cols * 8)
+
+	b.Mark(1)
+	b.FMovI(fQ, 0.25)
+	b.MovI(nReg, int64(rows-2)) // interior rows
+	for s := 0; s < sageSweeps; s++ {
+		// Alternate buffers per sweep.
+		from, to := aAddr, bAddr
+		if s%2 == 1 {
+			from, to = bAddr, aAddr
+		}
+		b.MovI(sweep, int64(s)) // keeps the sweep visible in traces
+		_ = sweep
+		forThreadRR(b, row, nReg, func() {
+			// pC = from + (row+1)*rowBytes + 8; pD likewise into `to`.
+			b.AddI(tmp, row, 1)
+			b.MulI(tmp, tmp, rowBytes)
+			b.MovA(pC, from)
+			b.Add(pC, pC, tmp)
+			b.AddI(pC, pC, 8)
+			b.MovA(pD, to)
+			b.Add(pD, pD, tmp)
+			b.AddI(pD, pD, 8)
+			b.MovI(rem, int64(cols-2))
+			stripMine(b, rem, vl, func() {
+				b.AddI(tmp, pC, -rowBytes)
+				b.VLd(vUp, tmp)
+				b.AddI(tmp, pC, rowBytes)
+				b.VLd(vDown, tmp)
+				b.AddI(tmp, pC, -8)
+				b.VLd(vLeft, tmp)
+				b.AddI(tmp, pC, 8)
+				b.VLd(vRight, tmp)
+				b.VFAdd(vSum, vUp, vDown)
+				b.VFAdd(vSum, vSum, vLeft)
+				b.VFAdd(vSum, vSum, vRight)
+				b.VFMulS(vSum, vSum, fQ)
+				b.VSt(vSum, pD)
+				b.SllI(tmp, vl, 3)
+				b.Add(pC, pC, tmp)
+				b.Add(pD, pD, tmp)
+			})
+		})
+		b.Bar()
+	}
+	b.Mark(0)
+	b.Halt()
+	return b.MustAssemble()
+}
+
+func sageReference(p Params) []float64 {
+	rows, cols := sageSizes(p)
+	a := sageData(p)
+	bb := sageData(p)
+	bufs := [2][]float64{a, bb}
+	for s := 0; s < sageSweeps; s++ {
+		from, to := bufs[s%2], bufs[(s+1)%2]
+		for i := 1; i < rows-1; i++ {
+			for j := 1; j < cols-1; j++ {
+				sum := from[(i-1)*cols+j] + from[(i+1)*cols+j]
+				sum += from[i*cols+j-1]
+				sum += from[i*cols+j+1]
+				to[i*cols+j] = sum * 0.25
+			}
+		}
+	}
+	return bufs[sageSweeps%2]
+}
+
+func verifySage(machine *vm.VM, prog *asm.Program, p Params) error {
+	p = p.norm()
+	rows, cols := sageSizes(p)
+	want := sageReference(p)
+	final := prog.Symbol("grid0")
+	if sageSweeps%2 == 1 {
+		final = prog.Symbol("grid1")
+	}
+	for i := 1; i < rows-1; i++ {
+		for j := 1; j < cols-1; j++ {
+			got := math.Float64frombits(machine.Mem.MustRead(final + uint64(i*cols+j)*8))
+			if got != want[i*cols+j] {
+				return fmt.Errorf("sage: grid[%d][%d] = %v, want %v", i, j, got, want[i*cols+j])
+			}
+		}
+	}
+	return nil
+}
+
+// Sage is the hydrodynamics stencil workload (long vectors).
+var Sage = register(&Workload{
+	Name:        "sage",
+	Description: "hydrodynamics modeling (stencil sweeps, long vectors)",
+	Class:       LongVector,
+	Paper:       Table4Row{PercentVect: 94, AvgVL: 63.8, CommonVLs: []int{64}},
+	Build:       buildSage,
+	Verify:      verifySage,
+})

@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"math"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+)
+
+// rng is a small deterministic linear congruential generator used to
+// synthesize input data (identical across builds of the same workload).
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed*2862933555777941757 + 3037000493} }
+
+func (r *rng) next() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state >> 16
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float returns a value in [0, 1) with limited mantissa bits so that
+// simulated arithmetic stays exactly reproducible in float64.
+func (r *rng) float() float64 { return float64(r.next()%4096) / 4096 }
+
+// forThreadRR emits a round-robin thread-parallel loop:
+//
+//	for i := TID; i < bound; i += NTH { body }
+//
+// bound must already hold the iteration count; i and bound must survive
+// the body.
+func forThreadRR(b *asm.Builder, i, bound isa.Reg, body func()) {
+	b.Mov(i, asm.RegTID)
+	loop := b.NewLabel("rrLoop")
+	done := b.NewLabel("rrDone")
+	b.Bind(loop)
+	b.Bge(i, bound, done)
+	body()
+	b.Add(i, i, asm.RegNTH)
+	b.J(loop)
+	b.Bind(done)
+}
+
+// forRange emits a simple counted loop:
+//
+//	for i := 0; i < bound; i++ { body }
+//
+// i and bound must survive the body.
+func forRange(b *asm.Builder, i, bound isa.Reg, body func()) {
+	b.MovI(i, 0)
+	loop := b.NewLabel("loop")
+	done := b.NewLabel("done")
+	b.Bind(loop)
+	b.Bge(i, bound, done)
+	body()
+	b.AddI(i, i, 1)
+	b.J(loop)
+	b.Bind(done)
+}
+
+// stripMine emits a strip-mined loop over rem elements:
+//
+//	for rem > 0 { vl = setvl(rem); body(vl); rem -= vl }
+//
+// rem is consumed; vl holds each strip's length during body. The body is
+// responsible for advancing its own pointers by vl elements.
+func stripMine(b *asm.Builder, rem, vl isa.Reg, body func()) {
+	loop := b.NewLabel("strip")
+	done := b.NewLabel("stripDone")
+	b.Bind(loop)
+	b.Beq(rem, asm.RegZero, done)
+	b.SetVL(vl, rem)
+	body()
+	b.Sub(rem, rem, vl)
+	b.J(loop)
+	b.Bind(done)
+}
+
+// vltPhase emits the VLT phase-switch idiom around a serial section: all
+// threads synchronize; thread 0 reconfigures the lanes into a single
+// partition (reclaiming the full machine for any vector work in the
+// serial code), runs serial(), restores the thread partitions; everyone
+// synchronizes again. For single-threaded builds it degenerates to the
+// serial code alone; with p.NoLaneReclaim the VLTCFG pair is omitted and
+// thread 0 keeps only its own partition (the extension study's baseline).
+//
+// The serial body runs in region 0 (not VLT-amenable); callers bracket
+// their parallel phases with b.Mark(>0) themselves.
+func vltPhase(b *asm.Builder, p Params, serial func()) {
+	b.Mark(0)
+	if p.Threads == 1 {
+		serial()
+		b.Mark(0)
+		return
+	}
+	b.Bar()
+	skip := b.NewLabel("serialSkip")
+	b.Bne(asm.RegTID, asm.RegZero, skip)
+	if !p.NoLaneReclaim {
+		b.VltCfg(1)
+	}
+	serial()
+	if !p.NoLaneReclaim {
+		b.VltCfg(int64(p.Threads))
+	}
+	b.Bind(skip)
+	b.Bar()
+}
+
+// f64 packs float64 values into the word representation used by data
+// segments.
+func f64(vals []float64) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package workloads
+
+import (
+	"testing"
+
+	"vlt/internal/isa"
+)
+
+// TestVLHistogramsPerWorkload pins each workload's vector-length profile:
+// only the expected lengths appear in the base (single-thread) build.
+func TestVLHistogramsPerWorkload(t *testing.T) {
+	allowed := map[string][]int{
+		"mxm":      {64},
+		"sage":     {64},
+		"mpenc":    {8, 16, 64},
+		"multprec": {23, 24, 64},
+		"bt":       {5, 10, 12},
+		"radix":    {64},
+	}
+	for name, vls := range allowed {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		machine := runFunctional(t, w, Params{Threads: 1, Scale: 1})
+		ok := map[int]bool{}
+		for _, vl := range vls {
+			ok[vl] = true
+		}
+		for vl, count := range machine.Stats.VLHist {
+			if count > 0 && vl > 0 && !ok[vl] {
+				t.Errorf("%s: unexpected vector length %d (%d instructions)", name, vl, count)
+			}
+		}
+	}
+}
+
+func TestTrfdTriangularSweep(t *testing.T) {
+	w, _ := ByName("trfd")
+	machine := runFunctional(t, w, Params{Threads: 1, Scale: 1})
+	// Every length 1..44 appears (the triangular loop), nothing above.
+	for vl := 1; vl <= 44; vl++ {
+		if machine.Stats.VLHist[vl] == 0 {
+			t.Errorf("trfd: vector length %d missing from the sweep", vl)
+		}
+	}
+	for vl := 45; vl <= isa.MaxVL; vl++ {
+		if machine.Stats.VLHist[vl] != 0 {
+			t.Errorf("trfd: unexpected vector length %d", vl)
+		}
+	}
+}
+
+// TestVLTBuildsClampVectorLengths checks the partition/VL interaction:
+// under a 4-thread build the same workloads never exceed VL 16.
+func TestVLTBuildsClampVectorLengths(t *testing.T) {
+	// mpenc uses NoLaneReclaim here because its reclaimed serial phase
+	// legitimately reaches VL 64 (that is the point of reclamation).
+	for _, name := range []string{"mpenc", "trfd", "multprec"} {
+		w, _ := ByName(name)
+		machine := runFunctional(t, w, Params{Threads: 4, Scale: 1, NoLaneReclaim: true})
+		for vl := 17; vl <= isa.MaxVL; vl++ {
+			if machine.Stats.VLHist[vl] != 0 {
+				t.Errorf("%s (4 threads): vector length %d exceeds the partition cap", name, vl)
+			}
+		}
+	}
+}
+
+// TestNoLaneReclaimPreservesResults: the phase-switching knob changes
+// timing structure, never results.
+func TestNoLaneReclaimPreservesResults(t *testing.T) {
+	for _, name := range []string{"mpenc", "multprec", "bt"} {
+		w, _ := ByName(name)
+		runFunctional(t, w, Params{Threads: 4, Scale: 1, NoLaneReclaim: true})
+	}
+}
+
+// TestMpencLaneReclaimRestoresFullVL: with reclamation the serial phase
+// reaches VL 64 even in a 4-thread build; without it, it cannot.
+func TestMpencLaneReclaimRestoresFullVL(t *testing.T) {
+	w, _ := ByName("mpenc")
+	with := runFunctional(t, w, Params{Threads: 4, Scale: 1})
+	if with.Stats.VLHist[64] == 0 {
+		t.Error("with reclamation: no VL-64 instructions in the serial phase")
+	}
+	without := runFunctional(t, w, Params{Threads: 4, Scale: 1, NoLaneReclaim: true})
+	if without.Stats.VLHist[64] != 0 {
+		t.Error("without reclamation: VL-64 instructions should be impossible")
+	}
+}
+
+func TestScaleGrowsWork(t *testing.T) {
+	for _, name := range []string{"mxm", "trfd", "ocean"} {
+		w, _ := ByName(name)
+		m1 := runFunctional(t, w, Params{Threads: 1, Scale: 1})
+		m2 := runFunctional(t, w, Params{Threads: 1, Scale: 2})
+		ops1 := m1.Stats.ScalarInstrs + m1.Stats.VecElemOps
+		ops2 := m2.Stats.ScalarInstrs + m2.Stats.VecElemOps
+		if ops2 < ops1*3/2 {
+			t.Errorf("%s: scale 2 ops (%d) not meaningfully larger than scale 1 (%d)",
+				name, ops2, ops1)
+		}
+	}
+}
+
+func TestWorkloadDescriptionsAndClasses(t *testing.T) {
+	for _, w := range All() {
+		if w.Description == "" {
+			t.Errorf("%s: missing description", w.Name)
+		}
+		if w.Class.String() == "unknown" {
+			t.Errorf("%s: unknown class", w.Name)
+		}
+		if w.Build == nil || w.Verify == nil {
+			t.Errorf("%s: missing Build/Verify", w.Name)
+		}
+	}
+	if Class(99).String() != "unknown" {
+		t.Error("out-of-range class should stringify as unknown")
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	// Verification is only trustworthy if it actually fails on corrupted
+	// results. Flip one output word per workload and expect an error.
+	corrupt := map[string]string{
+		"mxm":    "C",
+		"radix":  "keys",
+		"barnes": "ax",
+	}
+	for name, sym := range corrupt {
+		w, _ := ByName(name)
+		p := Params{Threads: 1, Scale: 1}.norm()
+		prog := w.Build(p)
+		machine := runFunctional(t, w, p)
+		addr := prog.Symbol(sym)
+		machine.Mem.MustWrite(addr, machine.Mem.MustRead(addr)+1)
+		if err := w.Verify(machine, prog, p); err == nil {
+			t.Errorf("%s: verification accepted corrupted %s", name, sym)
+		}
+	}
+}
+
+func TestParamsNormalization(t *testing.T) {
+	p := Params{}.norm()
+	if p.Threads != 1 || p.Scale != 1 {
+		t.Errorf("norm() = %+v, want threads=1 scale=1", p)
+	}
+	p2 := Params{Threads: 4, Scale: 3}.norm()
+	if p2.Threads != 4 || p2.Scale != 3 {
+		t.Errorf("norm() clobbered explicit values: %+v", p2)
+	}
+}
+
+func TestRadixStreamSegmentsDivide(t *testing.T) {
+	// The stream decomposition assumes divisibility; pin it for all the
+	// thread counts the experiments use.
+	keys := radixKeys(Params{Scale: 1}.norm())
+	for _, threads := range []int{1, 2, 4, 8} {
+		if len(keys)%(threads*radixStreams) != 0 {
+			t.Errorf("%d keys do not divide into %d streams", len(keys), threads*radixStreams)
+		}
+		if radixBuckets%threads != 0 {
+			t.Errorf("%d buckets do not divide across %d threads", radixBuckets, threads)
+		}
+	}
+}

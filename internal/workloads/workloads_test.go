@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+
+	"vlt/internal/vm"
+)
+
+// runFunctional builds the workload, executes it functionally, verifies
+// the computed results, and returns the VM for further inspection.
+func runFunctional(t *testing.T, w *Workload, p Params) *vm.VM {
+	t.Helper()
+	p = p.norm()
+	prog := w.Build(p)
+	machine, err := vm.New(prog, p.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Partitions = p.Threads // mirror VLT partitioning for SETVL
+	if p.Threads == 1 {
+		machine.Partitions = 1
+	}
+	if err := machine.RunFunctional(0); err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	if err := w.Verify(machine, prog, p); err != nil {
+		t.Fatal(err)
+	}
+	return machine
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("registry has %d workloads, want 9", len(all))
+	}
+	wantOrder := []string{"mxm", "sage", "mpenc", "trfd", "multprec", "bt", "radix", "ocean", "barnes"}
+	for i, w := range all {
+		if w.Name != wantOrder[i] {
+			t.Errorf("position %d = %s, want %s", i, w.Name, wantOrder[i])
+		}
+	}
+	if len(ShortVectorSet()) != 4 || len(ScalarSet()) != 3 || len(LongVectorSet()) != 2 {
+		t.Error("class sets have wrong sizes")
+	}
+	if _, err := ByName("mxm"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
+
+func TestAllWorkloadsSingleThreadFunctional(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			runFunctional(t, w, Params{Threads: 1, Scale: 1})
+		})
+	}
+}
+
+func TestShortVectorWorkloadsWithVLTThreads(t *testing.T) {
+	for _, w := range ShortVectorSet() {
+		for _, threads := range []int{2, 4} {
+			w, threads := w, threads
+			t.Run(fmt.Sprintf("%s-%dT", w.Name, threads), func(t *testing.T) {
+				runFunctional(t, w, Params{Threads: threads, Scale: 1})
+			})
+		}
+	}
+}
+
+func TestScalarWorkloadsWithThreads(t *testing.T) {
+	for _, w := range ScalarSet() {
+		for _, threads := range []int{4, 8} {
+			w, threads := w, threads
+			t.Run(fmt.Sprintf("%s-%dT", w.Name, threads), func(t *testing.T) {
+				runFunctional(t, w, Params{Threads: threads, Scale: 1, ScalarOnly: true})
+			})
+		}
+	}
+}
+
+func TestScalarOnlyVariantsHaveNoVectorOps(t *testing.T) {
+	for _, w := range ScalarSet() {
+		prog := w.Build(Params{Threads: 8, Scale: 1, ScalarOnly: true})
+		for i := range prog.Code {
+			if prog.Code[i].Op.Info().Vector {
+				t.Errorf("%s scalar-only build contains vector op %s at %d",
+					w.Name, prog.Code[i].String(), i)
+			}
+		}
+	}
+}
+
+func TestLongVectorWorkloadsAtScale2(t *testing.T) {
+	for _, w := range LongVectorSet() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			runFunctional(t, w, Params{Threads: 1, Scale: 2})
+		})
+	}
+}
+
+// Table-4 calibration: the measured operation census of each workload
+// must sit near the paper's published signature.
+func TestTable4Calibration(t *testing.T) {
+	type tol struct{ vectAbs, avgRel float64 }
+	tolerances := map[string]tol{
+		"mxm":      {5, 0.05},
+		"sage":     {6, 0.05},
+		"mpenc":    {8, 0.20},
+		"trfd":     {8, 0.15},
+		"multprec": {8, 0.15},
+		"bt":       {8, 0.20},
+		"radix":    {4, 0.15},
+		"ocean":    {1, 0},
+		"barnes":   {1, 0},
+	}
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			machine := runFunctional(t, w, Params{Threads: 1, Scale: 1})
+			st := &machine.Stats
+			tl := tolerances[w.Name]
+			gotVect := st.PercentVect()
+			if diff := gotVect - w.Paper.PercentVect; diff > tl.vectAbs || diff < -tl.vectAbs {
+				t.Errorf("%%vect = %.1f, paper %.1f (tolerance %.1f)",
+					gotVect, w.Paper.PercentVect, tl.vectAbs)
+			}
+			if w.Paper.AvgVL > 0 {
+				gotAvg := st.AvgVL()
+				rel := (gotAvg - w.Paper.AvgVL) / w.Paper.AvgVL
+				if rel > tl.avgRel || rel < -tl.avgRel {
+					t.Errorf("avg VL = %.1f, paper %.1f (tolerance %.0f%%)",
+						gotAvg, w.Paper.AvgVL, tl.avgRel*100)
+				}
+			}
+		})
+	}
+}
+
+func TestMpencCommonVLs(t *testing.T) {
+	machine := runFunctional(t, Mpenc, Params{Threads: 1, Scale: 1})
+	common := machine.Stats.CommonVLs(3)
+	if len(common) != 3 {
+		t.Fatalf("expected 3 common VLs, got %v", common)
+	}
+	seen := map[int]bool{}
+	for _, vl := range common {
+		seen[vl] = true
+	}
+	for _, want := range []int{8, 16, 64} {
+		if !seen[want] {
+			t.Errorf("common VLs %v missing %d (paper: 8, 16, 64)", common, want)
+		}
+	}
+}
+
+func TestRadixVectorVariantMatchesScalarResult(t *testing.T) {
+	mVec := runFunctional(t, Radix, Params{Threads: 4, Scale: 1})
+	mScl := runFunctional(t, Radix, Params{Threads: 4, Scale: 1, ScalarOnly: true})
+	if mVec.Stats.VecInstrs == 0 {
+		t.Error("vector radix variant issued no vector instructions")
+	}
+	if mScl.Stats.VecInstrs != 0 {
+		t.Error("scalar radix variant issued vector instructions")
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	for _, w := range All() {
+		p1 := w.Build(Params{Threads: 2, Scale: 1})
+		p2 := w.Build(Params{Threads: 2, Scale: 1})
+		if len(p1.Code) != len(p2.Code) {
+			t.Errorf("%s: non-deterministic code size", w.Name)
+			continue
+		}
+		for i := range p1.Code {
+			if p1.Code[i] != p2.Code[i] {
+				t.Errorf("%s: instruction %d differs between builds", w.Name, i)
+				break
+			}
+		}
+	}
+}

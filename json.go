@@ -1,0 +1,66 @@
+package vlt
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// AllResults bundles every table, figure and extension study for
+// machine-readable export (cmd/vltexp -json), e.g. to feed plotting
+// scripts when regenerating the paper's figures graphically.
+type AllResults struct {
+	Table1  []Table1Row `json:"table1"`
+	Table2  []Table2Row `json:"table2"`
+	Table4  []Table4Row `json:"table4"`
+	Figure1 Figure1Data `json:"figure1"`
+	Figure3 Figure3Data `json:"figure3"`
+	Figure4 Figure4Data `json:"figure4"`
+	Figure5 Figure5Data `json:"figure5"`
+	Figure6 Figure6Data `json:"figure6"`
+
+	Extension16Lanes    Ext16Data      `json:"extension16Lanes"`
+	ExtensionPhaseSwtch ExtReclaimData `json:"extensionPhaseSwitching"`
+}
+
+// CollectAll runs every experiment at the given scale and bundles the
+// results.
+func CollectAll(scale int) (AllResults, error) {
+	var out AllResults
+	var err error
+	out.Table1 = Table1()
+	out.Table2 = Table2()
+	if out.Table4, err = Table4(scale); err != nil {
+		return out, fmt.Errorf("table 4: %w", err)
+	}
+	if out.Figure1, err = Figure1(scale); err != nil {
+		return out, fmt.Errorf("figure 1: %w", err)
+	}
+	if out.Figure3, err = Figure3(scale); err != nil {
+		return out, fmt.Errorf("figure 3: %w", err)
+	}
+	if out.Figure4, err = Figure4(scale); err != nil {
+		return out, fmt.Errorf("figure 4: %w", err)
+	}
+	if out.Figure5, err = Figure5(scale); err != nil {
+		return out, fmt.Errorf("figure 5: %w", err)
+	}
+	if out.Figure6, err = Figure6(scale); err != nil {
+		return out, fmt.Errorf("figure 6: %w", err)
+	}
+	if out.Extension16Lanes, err = Extension16Lanes(scale); err != nil {
+		return out, fmt.Errorf("extension 16 lanes: %w", err)
+	}
+	if out.ExtensionPhaseSwtch, err = ExtensionPhaseSwitching(scale); err != nil {
+		return out, fmt.Errorf("extension phase switching: %w", err)
+	}
+	return out, nil
+}
+
+// MarshalAll runs every experiment and returns indented JSON.
+func MarshalAll(scale int) ([]byte, error) {
+	res, err := CollectAll(scale)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(res, "", "  ")
+}

@@ -1,0 +1,105 @@
+package vlt
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vlt/internal/asm"
+	"vlt/internal/core"
+)
+
+// The example assembly programs under examples/programs are part of the
+// public toolchain surface; assemble and run each and check its output.
+
+func runVasm(t *testing.T, path string, cfg core.Config) (*core.Machine, *asm.Program) {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.ParseText(path, string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.NewMachine(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m, prog
+}
+
+func TestExampleProgramFibonacci(t *testing.T) {
+	m, prog := runVasm(t, filepath.Join("examples", "programs", "fibonacci.vasm"), core.Base(8))
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233, 377, 610}
+	out := prog.Symbol("out")
+	for i, w := range want {
+		if got := m.VM().Mem.MustRead(out + uint64(i)*8); got != w {
+			t.Errorf("fib[%d] = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestExampleProgramDotProduct(t *testing.T) {
+	m, prog := runVasm(t, filepath.Join("examples", "programs", "dotproduct.vasm"), core.Base(8))
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	y := []float64{1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8}
+	want := 0.0
+	for i := range x {
+		want += x[i] * y[i]
+	}
+	got := math.Float64frombits(m.VM().Mem.MustRead(prog.Symbol("out")))
+	if got != want {
+		t.Errorf("dot product = %v, want %v", got, want)
+	}
+}
+
+func TestExampleProgramParallelSum(t *testing.T) {
+	for _, tc := range []struct {
+		cfg     core.Config
+		threads int
+	}{
+		{core.Base(8), 1},
+		{core.V2CMP(), 2},
+		{core.V4CMT(), 4},
+	} {
+		cfg := tc.cfg
+		cfg.NumThreads = tc.threads
+		if cfg.Lanes > 0 {
+			cfg.InitialPartitions = tc.threads
+		}
+		m, prog := runVasm(t, filepath.Join("examples", "programs", "parallelsum.vasm"), cfg)
+		if got := m.VM().Mem.MustRead(prog.Symbol("total")); got != 528 {
+			t.Errorf("%s: parallel sum = %d, want 528", cfg.Name, got)
+		}
+	}
+}
+
+func TestExampleProgramsAssembleToImagesAndBack(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("examples", "programs", "*.vasm"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := asm.ParseText(f, string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		img := prog.SaveImage()
+		back, err := asm.LoadImage(img)
+		if err != nil {
+			t.Fatalf("%s: image round trip: %v", f, err)
+		}
+		if len(back.Code) != len(prog.Code) {
+			t.Errorf("%s: image round trip lost instructions", f)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package vlt is a cycle-level simulator of Vector Lane Threading (VLT),
+// reproducing "Vector Lane Threading" (Rivoire, Schultz, Okuda, Kozyrakis,
+// ICPP 2006). VLT partitions the lanes of a multi-lane vector processor
+// across several threads so that applications with short vectors — or no
+// vectors at all — can still saturate the vector datapaths.
+//
+// The package exposes:
+//
+//   - Run: execute one of the paper's nine calibrated workloads on any of
+//     the paper's machine configurations and collect timing, utilization
+//     and verification results;
+//   - Figure1..Figure6, Table1..Table4: regenerate every table and figure
+//     of the paper's evaluation;
+//   - Machines, Workloads: enumerate the available configurations.
+//
+// The heavy lifting lives in internal packages: internal/core (the VLT
+// machine model), internal/scalar, internal/vcl, internal/lane (pipeline
+// timing), internal/mem (caches), internal/vm (functional execution),
+// internal/workloads (benchmarks), internal/area (the area model).
+package vlt
+
+import (
+	"fmt"
+
+	"vlt/internal/core"
+	"vlt/internal/vcl"
+	"vlt/internal/workloads"
+)
+
+// Machine names a processor configuration from the paper.
+type Machine string
+
+// The paper's machine configurations.
+const (
+	// MachineBase is the base vector processor (Table 3): one 4-way OoO
+	// scalar unit, 8 vector lanes, one thread.
+	MachineBase Machine = "base"
+	// MachineV2SMT runs 2 VLT vector threads on one SMT-2 scalar unit.
+	MachineV2SMT Machine = "V2-SMT"
+	// MachineV2CMP runs 2 VLT vector threads on two replicated 4-way SUs.
+	MachineV2CMP Machine = "V2-CMP"
+	// MachineV2CMPh runs 2 VLT vector threads on heterogeneous SUs.
+	MachineV2CMPh Machine = "V2-CMP-h"
+	// MachineV4SMT runs 4 VLT vector threads on one SMT-4 scalar unit.
+	MachineV4SMT Machine = "V4-SMT"
+	// MachineV4CMT runs 4 VLT vector threads on two SMT-2 scalar units.
+	MachineV4CMT Machine = "V4-CMT"
+	// MachineV4CMP runs 4 VLT vector threads on four replicated SUs.
+	MachineV4CMP Machine = "V4-CMP"
+	// MachineV4CMPh runs 4 VLT threads on one 4-way and three 2-way SUs.
+	MachineV4CMPh Machine = "V4-CMP-h"
+	// MachineCMT is the scalar-only baseline: two SMT-2 4-way cores, no
+	// vector unit, 4 scalar threads (Section 7.2).
+	MachineCMT Machine = "CMT"
+	// MachineVLTScalar runs 8 scalar threads on the 8 vector lanes as
+	// 2-way in-order cores (Section 5).
+	MachineVLTScalar Machine = "VLT-scalar"
+)
+
+// Machines returns every configuration name.
+func Machines() []Machine {
+	return []Machine{
+		MachineBase, MachineV2SMT, MachineV2CMP, MachineV2CMPh,
+		MachineV4SMT, MachineV4CMT, MachineV4CMP, MachineV4CMPh,
+		MachineCMT, MachineVLTScalar,
+	}
+}
+
+// Workloads returns the names of the paper's nine benchmarks, in Table 4
+// order.
+func Workloads() []string {
+	var out []string
+	for _, w := range workloads.All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Scale multiplies the workload's calibrated default problem size.
+	Scale int
+	// Lanes overrides the lane count (1-16; default 8). For the VLT
+	// machines it must remain divisible by the thread count.
+	Lanes int
+	// Threads overrides the software thread count (defaults to the
+	// machine's natural count: 1 for base, 2 for V2-*, 4 for V4-* and
+	// CMT, 8 for VLT-scalar).
+	Threads int
+	// SkipVerify skips the functional result check.
+	SkipVerify bool
+	// NoLaneReclaim builds the workload without the VLTCFG idiom that
+	// hands all lanes to thread 0 for serial phases (the phase-switching
+	// extension study's baseline).
+	NoLaneReclaim bool
+}
+
+// SUStat is one scalar unit's pipeline census.
+type SUStat = core.SUStat
+
+// LaneStat is one lane core's pipeline census (lane-scalar mode).
+type LaneStat = core.LaneStat
+
+// Utilization is a percentage breakdown of the arithmetic-datapath cycles
+// in the vector lanes (Figure 4's categories).
+type Utilization struct {
+	BusyPct     float64
+	PartIdlePct float64
+	StalledPct  float64
+	AllIdlePct  float64
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Workload string
+	Machine  Machine
+	Threads  int
+
+	Cycles     uint64
+	Retired    uint64 // instructions retired across all threads
+	VecIssued  uint64 // vector instructions issued
+	VecElemOps uint64 // vector element operations executed
+
+	Util Utilization
+
+	// Per-unit pipeline statistics (one entry per scalar unit or lane
+	// core).
+	SUs       []SUStat
+	LaneCores []LaneStat
+
+	// Workload characterization (Table 4 inputs).
+	PercentVect    float64
+	AvgVL          float64
+	CommonVLs      []int
+	OpportunityPct float64
+
+	Verified bool
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Retired) / float64(r.Cycles)
+}
+
+func machineConfig(m Machine, opt Options) (core.Config, int, error) {
+	threads := opt.Threads
+	pick := func(cfg core.Config, def int) (core.Config, int, error) {
+		if threads == 0 {
+			threads = def
+		}
+		cfg.NumThreads = threads
+		if opt.Lanes != 0 && cfg.Lanes > 0 {
+			cfg.Lanes = opt.Lanes
+		}
+		if cfg.Lanes > 0 && !cfg.LaneScalarMode {
+			cfg.InitialPartitions = threads
+		}
+		return cfg, threads, nil
+	}
+	switch m {
+	case MachineBase:
+		lanes := opt.Lanes
+		if lanes == 0 {
+			lanes = 8
+		}
+		cfg := core.Base(lanes)
+		if threads == 0 {
+			threads = 1
+		}
+		cfg.NumThreads = threads
+		cfg.InitialPartitions = threads
+		return cfg, threads, nil
+	case MachineV2SMT:
+		return pick(core.V2SMT(), 2)
+	case MachineV2CMP:
+		return pick(core.V2CMP(), 2)
+	case MachineV2CMPh:
+		return pick(core.V2CMPh(), 2)
+	case MachineV4SMT:
+		return pick(core.V4SMT(), 4)
+	case MachineV4CMT:
+		return pick(core.V4CMT(), 4)
+	case MachineV4CMP:
+		return pick(core.V4CMP(), 4)
+	case MachineV4CMPh:
+		return pick(core.V4CMPh(), 4)
+	case MachineCMT:
+		if threads == 0 {
+			threads = 4
+		}
+		return core.CMT(threads), threads, nil
+	case MachineVLTScalar:
+		if threads == 0 {
+			threads = 8
+		}
+		return core.VLTScalar(threads), threads, nil
+	}
+	return core.Config{}, 0, fmt.Errorf("vlt: unknown machine %q", m)
+}
+
+// Run simulates the named workload on the named machine and returns the
+// measured result. Unless opt.SkipVerify is set, the workload's computed
+// output is verified against a host-side reference implementation.
+func Run(workload string, m Machine, opt Options) (Result, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, threads, err := machineConfig(m, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	scalarOnly := m == MachineCMT || m == MachineVLTScalar
+	if scalarOnly && w.Class != workloads.ScalarParallel {
+		return Result{}, fmt.Errorf("vlt: workload %q needs a vector unit; machine %q has none",
+			workload, m)
+	}
+	p := workloads.Params{
+		Threads: threads, Scale: opt.Scale,
+		ScalarOnly: scalarOnly, NoLaneReclaim: opt.NoLaneReclaim,
+	}
+	prog := w.Build(p)
+	machine, err := core.NewMachine(cfg, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{
+		Workload:       workload,
+		Machine:        m,
+		Threads:        threads,
+		Cycles:         res.Cycles,
+		Retired:        res.Retired,
+		VecIssued:      res.VecIssued,
+		VecElemOps:     res.VecElemOps,
+		Util:           utilizationPct(res.Util),
+		SUs:            res.SUs,
+		LaneCores:      res.LaneCore,
+		PercentVect:    res.Ops.PercentVect(),
+		AvgVL:          res.Ops.AvgVL(),
+		CommonVLs:      res.Ops.CommonVLs(4),
+		OpportunityPct: res.OpportunityPct,
+	}
+	if !opt.SkipVerify {
+		if err := w.Verify(machine.VM(), prog, p); err != nil {
+			return out, fmt.Errorf("vlt: verification failed: %w", err)
+		}
+		out.Verified = true
+	}
+	return out, nil
+}
+
+func utilizationPct(u vcl.Utilization) Utilization {
+	total := float64(u.Total())
+	if total == 0 {
+		return Utilization{}
+	}
+	return Utilization{
+		BusyPct:     100 * float64(u.Busy) / total,
+		PartIdlePct: 100 * float64(u.PartIdle) / total,
+		StalledPct:  100 * float64(u.Stalled) / total,
+		AllIdlePct:  100 * float64(u.AllIdle) / total,
+	}
+}
