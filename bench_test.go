@@ -15,6 +15,7 @@ import (
 	"vlt/internal/core"
 	"vlt/internal/lane"
 	"vlt/internal/mem"
+	"vlt/internal/runner"
 	"vlt/internal/workloads"
 )
 
@@ -139,6 +140,38 @@ func BenchmarkFigure6(b *testing.B) {
 	}
 	for _, r := range data.Rows {
 		b.ReportMetric(r.VLTOverCMT, "xCMT:"+r.Workload)
+	}
+}
+
+// --- full-sweep engine throughput ---
+
+// BenchmarkExpAll regenerates the entire evaluation (every table, figure
+// and extension study) at scale=1 through the experiment engine, once on
+// the legacy serial path and once on the parallel memoized engine. A
+// fresh engine per iteration keeps the memoization cache inside the
+// measured region, so the metric tracks the real `vltexp -all` cost and
+// the dedup factor (unique/submitted cells) stays honest.
+func BenchmarkExpAll(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		jobs int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var st runner.Stats
+			for i := 0; i < b.N; i++ {
+				eng := NewEngine(bc.jobs)
+				if _, err := eng.CollectAll(1); err != nil {
+					b.Fatal(err)
+				}
+				st = eng.Stats()
+			}
+			b.ReportMetric(float64(st.Unique), "cells-simulated")
+			b.ReportMetric(float64(st.Submitted), "cells-requested")
+		})
 	}
 }
 

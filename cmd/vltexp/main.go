@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	vltexp [-scale N] [-fig 1|3|4|5|6] [-tab 1|2|3|4] [-all]
+//	vltexp [-scale N] [-jobs N] [-progress] [-fig 1|3|4|5|6] [-tab 1|2|3|4] [-all]
 //
-// Without flags it prints everything (equivalent to -all).
+// Without flags it prints everything (equivalent to -all). Simulations
+// fan out over the parallel experiment engine; -jobs 1 forces the legacy
+// serial path and -progress reports completed/total cells on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"vlt"
 )
@@ -23,10 +26,44 @@ func main() {
 	ext := flag.Bool("ext", false, "print the extension studies (16 lanes, phase switching)")
 	jsonOut := flag.Bool("json", false, "emit every result as JSON (for plotting scripts)")
 	all := flag.Bool("all", false, "print every table and figure")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial legacy path)")
+	progress := flag.Bool("progress", false, "report completed/total simulation cells on stderr")
 	flag.Parse()
+
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "vltexp: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if flag.NArg() > 0 {
+		usageErr("unexpected argument %q", flag.Arg(0))
+	}
+	validFig := map[int]bool{1: true, 3: true, 4: true, 5: true, 6: true}
+	if *fig != 0 && !validFig[*fig] {
+		usageErr("no figure %d (the paper's evaluation has figures 1, 3, 4, 5, 6)", *fig)
+	}
+	if *tab != 0 && (*tab < 1 || *tab > 4) {
+		usageErr("no table %d (tables 1-4)", *tab)
+	}
+	if *jobs < 0 {
+		usageErr("-jobs %d: want 0 (GOMAXPROCS) or a positive worker count", *jobs)
+	}
 
 	if *fig == 0 && *tab == 0 && !*ext && !*jsonOut {
 		*all = true
+	}
+
+	eng := vlt.NewEngine(*jobs)
+	if *progress {
+		var mu sync.Mutex
+		eng.SetProgress(func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			fmt.Fprintf(os.Stderr, "\rvltexp: %d/%d cells simulated", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
 	}
 
 	die := func(err error) {
@@ -36,37 +73,35 @@ func main() {
 	printFig := func(n int) {
 		switch n {
 		case 1:
-			d, err := vlt.Figure1(*scale)
+			d, err := eng.Figure1(*scale)
 			if err != nil {
 				die(err)
 			}
 			fmt.Println(d)
 		case 3:
-			d, err := vlt.Figure3(*scale)
+			d, err := eng.Figure3(*scale)
 			if err != nil {
 				die(err)
 			}
 			fmt.Println(d)
 		case 4:
-			d, err := vlt.Figure4(*scale)
+			d, err := eng.Figure4(*scale)
 			if err != nil {
 				die(err)
 			}
 			fmt.Println(d)
 		case 5:
-			d, err := vlt.Figure5(*scale)
+			d, err := eng.Figure5(*scale)
 			if err != nil {
 				die(err)
 			}
 			fmt.Println(d)
 		case 6:
-			d, err := vlt.Figure6(*scale)
+			d, err := eng.Figure6(*scale)
 			if err != nil {
 				die(err)
 			}
 			fmt.Println(d)
-		default:
-			die(fmt.Errorf("no figure %d (the paper's evaluation has figures 1, 3, 4, 5, 6)", n))
 		}
 	}
 	printTab := func(n int) {
@@ -78,23 +113,21 @@ func main() {
 		case 3:
 			fmt.Println(vlt.Table3String())
 		case 4:
-			s, err := vlt.Table4String(*scale)
+			s, err := eng.Table4String(*scale)
 			if err != nil {
 				die(err)
 			}
 			fmt.Println(s)
-		default:
-			die(fmt.Errorf("no table %d (tables 1-4)", n))
 		}
 	}
 
 	printExt := func() {
-		d16, err := vlt.Extension16Lanes(*scale)
+		d16, err := eng.Extension16Lanes(*scale)
 		if err != nil {
 			die(err)
 		}
 		fmt.Println(d16)
-		dps, err := vlt.ExtensionPhaseSwitching(*scale)
+		dps, err := eng.ExtensionPhaseSwitching(*scale)
 		if err != nil {
 			die(err)
 		}
@@ -102,7 +135,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		data, err := vlt.MarshalAll(*scale)
+		data, err := eng.MarshalAll(*scale)
 		if err != nil {
 			die(err)
 		}
@@ -111,6 +144,14 @@ func main() {
 	}
 
 	if *all {
+		// Warm the engine's cache with every driver running concurrently;
+		// the ordered printing below then reads memoized cells. The serial
+		// legacy path has no cache, so it simulates while printing.
+		if !eng.Serial() {
+			if _, err := eng.CollectAll(*scale); err != nil {
+				die(err)
+			}
+		}
 		for _, n := range []int{1, 2, 3, 4} {
 			printTab(n)
 		}

@@ -1,0 +1,227 @@
+package vlt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"vlt/internal/core"
+	"vlt/internal/runner"
+	"vlt/internal/workloads"
+)
+
+// This file implements the parallel experiment engine. Every experiment
+// driver (Figure1..6, Table4, the extension studies) decomposes into
+// independent (workload, machine, options) simulation cells; the engine
+// fans those cells out over a bounded worker pool and memoizes them by a
+// content-addressed fingerprint, so a cell shared by several figures —
+// e.g. each workload's base-machine run, requested by Figures 1, 3, 4, 5
+// and Table 4 alike — is simulated exactly once per engine.
+//
+// Determinism: the simulator is execution-driven but fully deterministic
+// (no wall clock, no randomness, one private Machine per cell), so a
+// cell's result is a pure function of its fingerprint and the parallel
+// engine's output is byte-identical to the serial path's; the drivers
+// collect futures in the same order the legacy loops ran, and
+// TestParallelMatchesSerial enforces the equivalence for every figure.
+
+// Engine runs experiment cells on a bounded worker pool with a
+// memoization cache. NewEngine(1) is the legacy serial path: cells
+// execute inline, in collection order, with no cache — the control for
+// the differential test. The package-level Figure*/Table4/Extension*
+// functions share DefaultEngine, so duplicate cells are simulated once
+// per process.
+type Engine struct {
+	pool *runner.Pool[string, cell] // nil in serial mode
+
+	// serial-mode state (pool == nil)
+	mu       sync.Mutex
+	done     int
+	total    int
+	progress func(done, total int)
+}
+
+// cell is the memoized unit of work: one simulation's full result.
+type cell struct {
+	res Result
+	raw UtilizationCounts
+}
+
+// DefaultEngine backs the package-level experiment functions. It is
+// parallel (GOMAXPROCS workers) and caches for the process lifetime.
+var DefaultEngine = NewEngine(0)
+
+// NewEngine returns an experiment engine running at most jobs
+// simulations concurrently. jobs <= 0 selects runtime.GOMAXPROCS(0);
+// jobs == 1 selects the legacy serial path (inline execution, no
+// memoization).
+func NewEngine(jobs int) *Engine {
+	if jobs == 1 {
+		return &Engine{}
+	}
+	return &Engine{pool: runner.NewPool[string, cell](jobs)}
+}
+
+// Serial reports whether the engine is the legacy serial path.
+func (e *Engine) Serial() bool { return e.pool == nil }
+
+// SetProgress installs a callback invoked after every simulated cell
+// with the number of completed and scheduled cells. In parallel mode the
+// callback runs on worker goroutines and must be safe for concurrent
+// use; cache hits do not re-invoke it.
+func (e *Engine) SetProgress(fn func(done, total int)) {
+	if e.pool != nil {
+		e.pool.SetProgress(fn)
+		return
+	}
+	e.mu.Lock()
+	e.progress = fn
+	e.mu.Unlock()
+}
+
+// Stats returns the engine's submission counters. In serial mode every
+// submission is unique (the legacy path has no cache).
+func (e *Engine) Stats() runner.Stats {
+	if e.pool != nil {
+		return e.pool.Stats()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return runner.Stats{Submitted: e.total, Unique: e.total}
+}
+
+// fingerprint content-addresses one simulation cell: the workload, the
+// fully resolved machine configuration (so aliases like Lanes:0 and
+// Lanes:8 on the base machine coincide), and every build/verify option
+// that can change the simulated program or the reported result.
+func fingerprint(workload string, m Machine, opt Options) (string, error) {
+	cfg, threads, err := machineConfig(m, opt)
+	if err != nil {
+		return "", err
+	}
+	scale := opt.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	sum := sha256.Sum256(fmt.Appendf(nil,
+		"w=%s|cfg=%+v|threads=%d|scale=%d|scalarOnly=%t|noReclaim=%t|skipVerify=%t",
+		workload, cfg, threads, scale,
+		m == MachineCMT || m == MachineVLTScalar,
+		opt.NoLaneReclaim, opt.SkipVerify))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// cellFuture is the engine-side future for one submitted cell.
+type cellFuture struct {
+	task *runner.Task[cell]   // parallel mode
+	run  func() (cell, error) // serial mode: executed lazily at wait
+	err  error                // submission-time error (bad machine/options)
+}
+
+// submit schedules one simulation cell. In parallel mode the cell starts
+// immediately (subject to the worker bound) and duplicates coalesce onto
+// the cached task; in serial mode execution is deferred to wait so cells
+// run inline in collection order, exactly like the legacy loops.
+func (e *Engine) submit(workload string, m Machine, opt Options) *cellFuture {
+	if e.pool != nil {
+		key, err := fingerprint(workload, m, opt)
+		if err != nil {
+			return &cellFuture{err: err}
+		}
+		return &cellFuture{task: e.pool.Submit(key, func() (cell, error) {
+			res, raw, err := runCell(workload, m, opt)
+			return cell{res: res, raw: raw}, err
+		})}
+	}
+	e.mu.Lock()
+	e.total++
+	e.mu.Unlock()
+	return &cellFuture{run: func() (cell, error) {
+		res, raw, err := runCell(workload, m, opt)
+		e.mu.Lock()
+		e.done++
+		cb, done, total := e.progress, e.done, e.total
+		e.mu.Unlock()
+		if cb != nil {
+			cb(done, total)
+		}
+		return cell{res: res, raw: raw}, err
+	}}
+}
+
+// wait blocks until the cell has simulated and returns its result.
+func (f *cellFuture) wait() (Result, UtilizationCounts, error) {
+	if f.err != nil {
+		return Result{}, UtilizationCounts{}, f.err
+	}
+	var c cell
+	var err error
+	if f.task != nil {
+		c, err = f.task.Wait()
+	} else {
+		c, err = f.run()
+	}
+	return c.res, c.raw, err
+}
+
+// runCell simulates one cell on a private Machine and returns the public
+// result plus the raw Figure-4 utilization census. It is the single
+// simulation entry point under the engine (Run delegates here), and it
+// is goroutine-safe: all shared package state (workload registry, ISA
+// tables) is immutable after init.
+func runCell(workload string, m Machine, opt Options) (Result, UtilizationCounts, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return Result{}, UtilizationCounts{}, err
+	}
+	cfg, threads, err := machineConfig(m, opt)
+	if err != nil {
+		return Result{}, UtilizationCounts{}, err
+	}
+	scalarOnly := m == MachineCMT || m == MachineVLTScalar
+	if scalarOnly && w.Class != workloads.ScalarParallel {
+		return Result{}, UtilizationCounts{}, fmt.Errorf(
+			"vlt: workload %q needs a vector unit; machine %q has none", workload, m)
+	}
+	p := workloads.Params{
+		Threads: threads, Scale: opt.Scale,
+		ScalarOnly: scalarOnly, NoLaneReclaim: opt.NoLaneReclaim,
+	}
+	prog := w.Build(p)
+	machine, err := core.NewMachine(cfg, prog)
+	if err != nil {
+		return Result{}, UtilizationCounts{}, err
+	}
+	res, err := machine.Run()
+	if err != nil {
+		return Result{}, UtilizationCounts{}, err
+	}
+	raw := UtilizationCounts{
+		Busy: res.Util.Busy, PartIdle: res.Util.PartIdle,
+		Stalled: res.Util.Stalled, AllIdle: res.Util.AllIdle,
+	}
+	out := Result{
+		Workload:       workload,
+		Machine:        m,
+		Threads:        threads,
+		Cycles:         res.Cycles,
+		Retired:        res.Retired,
+		VecIssued:      res.VecIssued,
+		VecElemOps:     res.VecElemOps,
+		Util:           utilizationPct(res.Util),
+		SUs:            res.SUs,
+		LaneCores:      res.LaneCore,
+		PercentVect:    res.Ops.PercentVect(),
+		AvgVL:          res.Ops.AvgVL(),
+		CommonVLs:      res.Ops.CommonVLs(4),
+		OpportunityPct: res.OpportunityPct,
+	}
+	if !opt.SkipVerify {
+		if err := w.Verify(machine.VM(), prog, p); err != nil {
+			return out, raw, fmt.Errorf("vlt: verification failed: %w", err)
+		}
+		out.Verified = true
+	}
+	return out, raw, nil
+}

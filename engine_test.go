@@ -1,0 +1,149 @@
+package vlt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelMatchesSerial is the engine's differential regression: the
+// parallel memoized engine must produce results identical to the legacy
+// serial path for every figure, table and extension study. Any data race
+// or cross-run state leak in the simulator would show up here (and under
+// -race).
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	serial := NewEngine(1)
+	parallel := NewEngine(4)
+	if !serial.Serial() || parallel.Serial() {
+		t.Fatalf("NewEngine mode selection broken: serial=%v parallel=%v",
+			serial.Serial(), parallel.Serial())
+	}
+	want, err := serial.CollectAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parallel.CollectAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmp := range []struct {
+		name      string
+		got, want any
+	}{
+		{"table4", got.Table4, want.Table4},
+		{"figure1", got.Figure1, want.Figure1},
+		{"figure3", got.Figure3, want.Figure3},
+		{"figure4", got.Figure4, want.Figure4},
+		{"figure5", got.Figure5, want.Figure5},
+		{"figure6", got.Figure6, want.Figure6},
+		{"extension16Lanes", got.Extension16Lanes, want.Extension16Lanes},
+		{"extensionPhaseSwitching", got.ExtensionPhaseSwtch, want.ExtensionPhaseSwtch},
+	} {
+		if !reflect.DeepEqual(cmp.got, cmp.want) {
+			t.Errorf("%s: parallel engine diverges from serial path\nparallel: %+v\nserial:   %+v",
+				cmp.name, cmp.got, cmp.want)
+		}
+	}
+}
+
+// TestEngineDedup checks the memoization contract: duplicate (workload,
+// config, options) cells are simulated exactly once per engine, and the
+// full sweep genuinely shares cells across figures (e.g. each workload's
+// base-machine run is requested by Figures 1, 3, 4, 5 and Table 4).
+func TestEngineDedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	eng := NewEngine(2)
+	if _, err := eng.CollectAll(1); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Hits == 0 {
+		t.Errorf("full sweep produced no cache hits (%+v); figures share base runs", st)
+	}
+	if st.Unique+st.Hits != st.Submitted {
+		t.Errorf("stats inconsistent: %+v", st)
+	}
+	// A repeated figure re-submits only cached cells: no new simulations.
+	unique := st.Unique
+	if _, err := eng.Figure3(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Unique; got != unique {
+		t.Errorf("repeating Figure3 simulated %d new cells, want 0", got-unique)
+	}
+}
+
+// TestEngineAliasedCells: option spellings that resolve to the same
+// machine configuration (Lanes: 0 defaults to 8 on the base machine)
+// must coalesce onto one cached cell.
+func TestEngineAliasedCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	eng := NewEngine(2)
+	a := eng.submit("bt", MachineBase, Options{Scale: 1})
+	b := eng.submit("bt", MachineBase, Options{Scale: 1, Lanes: 8})
+	ra, _, err := a.wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _, err := b.wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Unique != 1 || st.Hits != 1 {
+		t.Errorf("aliased options did not coalesce: %+v", st)
+	}
+	if ra.Cycles != rb.Cycles {
+		t.Errorf("aliased cells disagree: %d vs %d cycles", ra.Cycles, rb.Cycles)
+	}
+}
+
+// TestEngineErrorPropagation: a bad cell surfaces its error through the
+// drivers with the legacy message shape, in both modes.
+func TestEngineErrorPropagation(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		eng := NewEngine(jobs)
+		f := eng.submit("nosuch", MachineBase, Options{Scale: 1})
+		if _, _, err := f.wait(); err == nil {
+			t.Errorf("jobs=%d: unknown workload did not error", jobs)
+		}
+		g := eng.submit("mxm", Machine("bogus"), Options{Scale: 1})
+		if _, _, err := g.wait(); err == nil {
+			t.Errorf("jobs=%d: unknown machine did not error", jobs)
+		}
+	}
+}
+
+// TestEngineProgress: the progress callback sees every unique cell
+// complete, in both modes.
+func TestEngineProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation")
+	}
+	for _, jobs := range []int{1, 2} {
+		eng := NewEngine(jobs)
+		ch := make(chan [2]int, 64)
+		eng.SetProgress(func(done, total int) { ch <- [2]int{done, total} })
+		if _, err := eng.Figure6(1); err != nil {
+			t.Fatal(err)
+		}
+		close(ch)
+		// Concurrent callbacks may be observed out of order; check the
+		// update count and the high-water marks instead of the last value.
+		var maxDone, maxTotal, n int
+		for p := range ch {
+			maxDone = max(maxDone, p[0])
+			maxTotal = max(maxTotal, p[1])
+			n++
+		}
+		// Figure 6: 3 scalar workloads x 2 machines = 6 unique cells.
+		if n != 6 || maxDone != 6 || maxTotal != 6 {
+			t.Errorf("jobs=%d: progress saw %d updates, max %d/%d; want 6 updates reaching 6/6", jobs, n, maxDone, maxTotal)
+		}
+	}
+}

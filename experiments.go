@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"vlt/internal/area"
-	"vlt/internal/core"
 	"vlt/internal/report"
 	"vlt/internal/scalar"
 	"vlt/internal/workloads"
@@ -32,14 +31,25 @@ type Figure1Data struct {
 }
 
 // Figure1 sweeps the base processor's lane count from 1 to 8 for all nine
+// applications (paper Figure 1) on the DefaultEngine.
+func Figure1(scale int) (Figure1Data, error) { return DefaultEngine.Figure1(scale) }
+
+// Figure1 sweeps the base processor's lane count from 1 to 8 for all nine
 // applications (paper Figure 1).
-func Figure1(scale int) (Figure1Data, error) {
+func (e *Engine) Figure1(scale int) (Figure1Data, error) {
+	ws := workloads.All()
+	futs := make([][]*cellFuture, len(ws))
+	for i, w := range ws {
+		for _, lanes := range Figure1Lanes {
+			futs[i] = append(futs[i], e.submit(w.Name, MachineBase, Options{Scale: scale, Lanes: lanes}))
+		}
+	}
 	var data Figure1Data
-	for _, w := range workloads.All() {
+	for i, w := range ws {
 		row := Figure1Row{Workload: w.Name}
 		var base uint64
-		for _, lanes := range Figure1Lanes {
-			res, err := Run(w.Name, MachineBase, Options{Scale: scale, Lanes: lanes})
+		for j, lanes := range Figure1Lanes {
+			res, _, err := futs[i][j].wait()
 			if err != nil {
 				return data, fmt.Errorf("figure 1 (%s, %d lanes): %w", w.Name, lanes, err)
 			}
@@ -83,19 +93,34 @@ type Figure3Data struct {
 
 // Figure3 measures the VLT speedup of the short-vector workloads with 2
 // threads (V2-CMP) and 4 threads (V4-CMP) over the base processor (paper
+// Figure 3) on the DefaultEngine.
+func Figure3(scale int) (Figure3Data, error) { return DefaultEngine.Figure3(scale) }
+
+// Figure3 measures the VLT speedup of the short-vector workloads with 2
+// threads (V2-CMP) and 4 threads (V4-CMP) over the base processor (paper
 // Figure 3).
-func Figure3(scale int) (Figure3Data, error) {
+func (e *Engine) Figure3(scale int) (Figure3Data, error) {
+	ws := workloads.ShortVectorSet()
+	type rowFuts struct{ base, v2, v4 *cellFuture }
+	futs := make([]rowFuts, len(ws))
+	for i, w := range ws {
+		futs[i] = rowFuts{
+			base: e.submit(w.Name, MachineBase, Options{Scale: scale}),
+			v2:   e.submit(w.Name, MachineV2CMP, Options{Scale: scale}),
+			v4:   e.submit(w.Name, MachineV4CMP, Options{Scale: scale}),
+		}
+	}
 	var data Figure3Data
-	for _, w := range workloads.ShortVectorSet() {
-		base, err := Run(w.Name, MachineBase, Options{Scale: scale})
+	for i, w := range ws {
+		base, _, err := futs[i].base.wait()
 		if err != nil {
 			return data, fmt.Errorf("figure 3 (%s base): %w", w.Name, err)
 		}
-		v2, err := Run(w.Name, MachineV2CMP, Options{Scale: scale})
+		v2, _, err := futs[i].v2.wait()
 		if err != nil {
 			return data, fmt.Errorf("figure 3 (%s V2): %w", w.Name, err)
 		}
-		v4, err := Run(w.Name, MachineV4CMP, Options{Scale: scale})
+		v4, _, err := futs[i].v4.wait()
 		if err != nil {
 			return data, fmt.Errorf("figure 3 (%s V4): %w", w.Name, err)
 		}
@@ -144,12 +169,25 @@ type Figure4Data struct {
 
 // Figure4 measures the arithmetic-datapath utilization breakdown (busy /
 // partly idle / stalled / all idle) of the short-vector workloads on the
+// base and VLT configurations (paper Figure 4) on the DefaultEngine.
+func Figure4(scale int) (Figure4Data, error) { return DefaultEngine.Figure4(scale) }
+
+// Figure4 measures the arithmetic-datapath utilization breakdown (busy /
+// partly idle / stalled / all idle) of the short-vector workloads on the
 // base and VLT configurations (paper Figure 4).
-func Figure4(scale int) (Figure4Data, error) {
+func (e *Engine) Figure4(scale int) (Figure4Data, error) {
+	ws := workloads.ShortVectorSet()
+	figure4Machines := []Machine{MachineBase, MachineV2CMP, MachineV4CMP}
+	futs := make([][]*cellFuture, len(ws))
+	for i, w := range ws {
+		for _, m := range figure4Machines {
+			futs[i] = append(futs[i], e.submit(w.Name, m, Options{Scale: scale}))
+		}
+	}
 	var data Figure4Data
-	for _, w := range workloads.ShortVectorSet() {
+	for i, w := range ws {
 		row := Figure4Row{Workload: w.Name}
-		for _, cfg := range []struct {
+		for j, cfg := range []struct {
 			m    Machine
 			dst  *UtilizationCounts
 			cycs *uint64
@@ -158,7 +196,7 @@ func Figure4(scale int) (Figure4Data, error) {
 			{MachineV2CMP, &row.V2, &row.V2Cyc},
 			{MachineV4CMP, &row.V4, &row.V4Cyc},
 		} {
-			res, raw, err := runRaw(w.Name, cfg.m, Options{Scale: scale})
+			res, raw, err := futs[i][j].wait()
 			if err != nil {
 				return data, fmt.Errorf("figure 4 (%s, %s): %w", w.Name, cfg.m, err)
 			}
@@ -210,18 +248,34 @@ type Figure5Data struct {
 }
 
 // Figure5 evaluates the scalar-unit design space for vector threads
+// (paper Figure 5) on the DefaultEngine.
+func Figure5(scale int) (Figure5Data, error) { return DefaultEngine.Figure5(scale) }
+
+// Figure5 evaluates the scalar-unit design space for vector threads
 // (paper Figure 5): multiplexed (SMT), replicated (CMP), hybrid (CMT) and
 // heterogeneous (CMP-h) scalar units.
-func Figure5(scale int) (Figure5Data, error) {
+func (e *Engine) Figure5(scale int) (Figure5Data, error) {
+	ws := workloads.ShortVectorSet()
+	type rowFuts struct {
+		base *cellFuture
+		cfgs []*cellFuture
+	}
+	futs := make([]rowFuts, len(ws))
+	for i, w := range ws {
+		futs[i].base = e.submit(w.Name, MachineBase, Options{Scale: scale})
+		for _, m := range Figure5Configs {
+			futs[i].cfgs = append(futs[i].cfgs, e.submit(w.Name, m, Options{Scale: scale}))
+		}
+	}
 	var data Figure5Data
-	for _, w := range workloads.ShortVectorSet() {
-		base, err := Run(w.Name, MachineBase, Options{Scale: scale})
+	for i, w := range ws {
+		base, _, err := futs[i].base.wait()
 		if err != nil {
 			return data, fmt.Errorf("figure 5 (%s base): %w", w.Name, err)
 		}
 		row := Figure5Row{Workload: w.Name, Speedup: map[Machine]float64{}}
-		for _, m := range Figure5Configs {
-			res, err := Run(w.Name, m, Options{Scale: scale})
+		for j, m := range Figure5Configs {
+			res, _, err := futs[i].cfgs[j].wait()
 			if err != nil {
 				return data, fmt.Errorf("figure 5 (%s, %s): %w", w.Name, m, err)
 			}
@@ -263,16 +317,30 @@ type Figure6Data struct {
 }
 
 // Figure6 compares 8 VLT scalar threads on the vector lanes against 4
+// threads on the CMT baseline for the non-vectorizable workloads (paper
+// Figure 6) on the DefaultEngine.
+func Figure6(scale int) (Figure6Data, error) { return DefaultEngine.Figure6(scale) }
+
+// Figure6 compares 8 VLT scalar threads on the vector lanes against 4
 // threads on the CMT baseline (two 4-way SMT-2 cores) for the
 // non-vectorizable workloads (paper Figure 6).
-func Figure6(scale int) (Figure6Data, error) {
+func (e *Engine) Figure6(scale int) (Figure6Data, error) {
+	ws := workloads.ScalarSet()
+	type rowFuts struct{ vlt, cmt *cellFuture }
+	futs := make([]rowFuts, len(ws))
+	for i, w := range ws {
+		futs[i] = rowFuts{
+			vlt: e.submit(w.Name, MachineVLTScalar, Options{Scale: scale}),
+			cmt: e.submit(w.Name, MachineCMT, Options{Scale: scale}),
+		}
+	}
 	var data Figure6Data
-	for _, w := range workloads.ScalarSet() {
-		vltRes, err := Run(w.Name, MachineVLTScalar, Options{Scale: scale})
+	for i, w := range ws {
+		vltRes, _, err := futs[i].vlt.wait()
 		if err != nil {
 			return data, fmt.Errorf("figure 6 (%s VLT): %w", w.Name, err)
 		}
-		cmtRes, err := Run(w.Name, MachineCMT, Options{Scale: scale})
+		cmtRes, _, err := futs[i].cmt.wait()
 		if err != nil {
 			return data, fmt.Errorf("figure 6 (%s CMT): %w", w.Name, err)
 		}
@@ -391,11 +459,21 @@ type Table4Row struct {
 }
 
 // Table4 measures each workload's operation census and VLT opportunity on
+// the base processor (via the DefaultEngine) and pairs it with the
+// paper's Table 4.
+func Table4(scale int) ([]Table4Row, error) { return DefaultEngine.Table4(scale) }
+
+// Table4 measures each workload's operation census and VLT opportunity on
 // the base processor and pairs it with the paper's Table 4.
-func Table4(scale int) ([]Table4Row, error) {
+func (e *Engine) Table4(scale int) ([]Table4Row, error) {
+	ws := workloads.All()
+	futs := make([]*cellFuture, len(ws))
+	for i, w := range ws {
+		futs[i] = e.submit(w.Name, MachineBase, Options{Scale: scale})
+	}
 	var out []Table4Row
-	for _, w := range workloads.All() {
-		res, err := Run(w.Name, MachineBase, Options{Scale: scale})
+	for i, w := range ws {
+		res, _, err := futs[i].wait()
 		if err != nil {
 			return nil, fmt.Errorf("table 4 (%s): %w", w.Name, err)
 		}
@@ -415,9 +493,12 @@ func Table4(scale int) ([]Table4Row, error) {
 	return out, nil
 }
 
+// Table4String renders Table 4 (measured vs paper) on the DefaultEngine.
+func Table4String(scale int) (string, error) { return DefaultEngine.Table4String(scale) }
+
 // Table4String renders Table 4 (measured vs paper).
-func Table4String(scale int) (string, error) {
-	rows, err := Table4(scale)
+func (e *Engine) Table4String(scale int) (string, error) {
+	rows, err := e.Table4(scale)
 	if err != nil {
 		return "", err
 	}
@@ -431,41 +512,4 @@ func Table4String(scale int) (string, error) {
 			fmt.Sprintf("%.0f | %.0f", r.MeasuredOppPct, r.PaperOppPct))
 	}
 	return t.String(), nil
-}
-
-// runRaw runs a workload and returns the raw utilization counts alongside
-// the public result.
-func runRaw(workload string, m Machine, opt Options) (Result, UtilizationCounts, error) {
-	w, err := workloads.ByName(workload)
-	if err != nil {
-		return Result{}, UtilizationCounts{}, err
-	}
-	cfg, threads, err := machineConfig(m, opt)
-	if err != nil {
-		return Result{}, UtilizationCounts{}, err
-	}
-	p := workloads.Params{Threads: threads, Scale: opt.Scale}
-	prog := w.Build(p)
-	machine, err := core.NewMachine(cfg, prog)
-	if err != nil {
-		return Result{}, UtilizationCounts{}, err
-	}
-	res, err := machine.Run()
-	if err != nil {
-		return Result{}, UtilizationCounts{}, err
-	}
-	if err := w.Verify(machine.VM(), prog, p); err != nil {
-		return Result{}, UtilizationCounts{}, err
-	}
-	raw := UtilizationCounts{
-		Busy: res.Util.Busy, PartIdle: res.Util.PartIdle,
-		Stalled: res.Util.Stalled, AllIdle: res.Util.AllIdle,
-	}
-	pub := Result{
-		Workload: workload, Machine: m, Threads: threads,
-		Cycles: res.Cycles, Retired: res.Retired,
-		VecIssued: res.VecIssued, VecElemOps: res.VecElemOps,
-		Util: utilizationPct(res.Util), Verified: true,
-	}
-	return pub, raw, nil
 }

@@ -28,19 +28,35 @@ type Ext16Data struct {
 	Rows []Ext16Row
 }
 
+// Extension16Lanes measures the paper's 16-lane conjecture on the
+// DefaultEngine.
+func Extension16Lanes(scale int) (Ext16Data, error) { return DefaultEngine.Extension16Lanes(scale) }
+
 // Extension16Lanes measures the paper's 16-lane conjecture: on a wider
 // machine a single short-vector thread leaves even more lanes idle, so
 // the speedup VLT recovers should grow.
-func Extension16Lanes(scale int) (Ext16Data, error) {
+func (e *Engine) Extension16Lanes(scale int) (Ext16Data, error) {
+	ws := workloads.ShortVectorSet()
+	ext16Lanes := []int{8, 16}
+	type pair struct{ base, v4 *cellFuture }
+	futs := make([][]pair, len(ws))
+	for i, w := range ws {
+		for _, lanes := range ext16Lanes {
+			futs[i] = append(futs[i], pair{
+				base: e.submit(w.Name, MachineBase, Options{Scale: scale, Lanes: lanes}),
+				v4:   e.submit(w.Name, MachineV4CMT, Options{Scale: scale, Lanes: lanes}),
+			})
+		}
+	}
 	var data Ext16Data
-	for _, w := range workloads.ShortVectorSet() {
+	for i, w := range ws {
 		row := Ext16Row{Workload: w.Name}
-		for _, lanes := range []int{8, 16} {
-			base, err := Run(w.Name, MachineBase, Options{Scale: scale, Lanes: lanes})
+		for j, lanes := range ext16Lanes {
+			base, _, err := futs[i][j].base.wait()
 			if err != nil {
 				return data, fmt.Errorf("ext16 (%s base %dL): %w", w.Name, lanes, err)
 			}
-			v4, err := Run(w.Name, MachineV4CMT, Options{Scale: scale, Lanes: lanes})
+			v4, _, err := futs[i][j].v4.wait()
 			if err != nil {
 				return data, fmt.Errorf("ext16 (%s V4 %dL): %w", w.Name, lanes, err)
 			}
@@ -80,18 +96,33 @@ type ExtReclaimData struct {
 	Rows []ExtReclaimRow
 }
 
+// ExtensionPhaseSwitching measures the Section-3.3 phase-switching study
+// on the DefaultEngine.
+func ExtensionPhaseSwitching(scale int) (ExtReclaimData, error) {
+	return DefaultEngine.ExtensionPhaseSwitching(scale)
+}
+
 // ExtensionPhaseSwitching measures the paper's Section-3.3 software
 // requirement in action: programs switch the number of VLT threads at
 // parallel-region boundaries, so serial phases with vector work run with
 // all lanes (and full vector length) instead of one thread's partition.
-func ExtensionPhaseSwitching(scale int) (ExtReclaimData, error) {
+func (e *Engine) ExtensionPhaseSwitching(scale int) (ExtReclaimData, error) {
+	ws := workloads.ShortVectorSet()
+	type pair struct{ re, st *cellFuture }
+	futs := make([]pair, len(ws))
+	for i, w := range ws {
+		futs[i] = pair{
+			re: e.submit(w.Name, MachineV4CMT, Options{Scale: scale}),
+			st: e.submit(w.Name, MachineV4CMT, Options{Scale: scale, NoLaneReclaim: true}),
+		}
+	}
 	var data ExtReclaimData
-	for _, w := range workloads.ShortVectorSet() {
-		re, err := Run(w.Name, MachineV4CMT, Options{Scale: scale})
+	for i, w := range ws {
+		re, _, err := futs[i].re.wait()
 		if err != nil {
 			return data, fmt.Errorf("reclaim (%s): %w", w.Name, err)
 		}
-		st, err := Run(w.Name, MachineV4CMT, Options{Scale: scale, NoLaneReclaim: true})
+		st, _, err := futs[i].st.wait()
 		if err != nil {
 			return data, fmt.Errorf("static (%s): %w", w.Name, err)
 		}

@@ -1,0 +1,120 @@
+// Package runner provides a bounded worker pool with a content-addressed
+// memoization cache. It is the execution engine behind the experiment
+// drivers in the root vlt package: independent deterministic simulations
+// are submitted as keyed jobs, fan out across up to Workers goroutines,
+// and each unique key executes exactly once per pool — later submissions
+// of the same key share the first submission's result.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Stats counts a pool's submission traffic.
+type Stats struct {
+	// Submitted is the total number of Submit calls.
+	Submitted int
+	// Unique is the number of distinct keys, i.e. jobs actually executed.
+	Unique int
+	// Hits is the number of Submit calls satisfied from the cache
+	// (Submitted - Unique).
+	Hits int
+}
+
+// Task is the future for one submitted job. A Task returned for a cached
+// key is the same Task the key's first submission returned.
+type Task[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Wait blocks until the job has executed and returns its result.
+func (t *Task[V]) Wait() (V, error) {
+	<-t.done
+	return t.val, t.err
+}
+
+// Pool is a bounded worker pool with a per-key memoization cache. The
+// zero value is not usable; call NewPool.
+type Pool[K comparable, V any] struct {
+	workers int
+	sem     chan struct{}
+
+	mu       sync.Mutex
+	tasks    map[K]*Task[V]
+	stats    Stats
+	done     int
+	total    int
+	progress func(done, total int)
+}
+
+// NewPool returns a pool running at most workers jobs concurrently.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewPool[K comparable, V any](workers int) *Pool[K, V] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool[K, V]{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		tasks:   make(map[K]*Task[V]),
+	}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool[K, V]) Workers() int { return p.workers }
+
+// SetProgress installs a callback invoked after every job completion with
+// the number of completed and submitted unique jobs. The callback runs on
+// worker goroutines and must be safe for concurrent use; a job's callback
+// completes before any Wait on that job returns.
+func (p *Pool[K, V]) SetProgress(fn func(done, total int)) {
+	p.mu.Lock()
+	p.progress = fn
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the pool's submission counters.
+func (p *Pool[K, V]) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Submit schedules fn under the given key and returns its Task. If the
+// key was submitted before, the earlier Task is returned and fn is not
+// executed: each unique key runs exactly once per pool. Jobs start
+// immediately (subject to the worker bound) whether or not anyone Waits.
+func (p *Pool[K, V]) Submit(key K, fn func() (V, error)) *Task[V] {
+	p.mu.Lock()
+	p.stats.Submitted++
+	if t, ok := p.tasks[key]; ok {
+		p.stats.Hits++
+		p.mu.Unlock()
+		return t
+	}
+	t := &Task[V]{done: make(chan struct{})}
+	p.tasks[key] = t
+	p.stats.Unique++
+	p.total++
+	p.mu.Unlock()
+
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		// The progress callback runs before the done channel closes, so a
+		// job's callback has completed before any Wait on it returns.
+		defer close(t.done)
+		t.val, t.err = fn()
+		p.mu.Lock()
+		p.done++
+		cb, done, total := p.progress, p.done, p.total
+		p.mu.Unlock()
+		if cb != nil {
+			cb(done, total)
+		}
+	}()
+	return t
+}

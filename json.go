@@ -3,6 +3,7 @@ package vlt
 import (
 	"encoding/json"
 	"fmt"
+	"sync"
 )
 
 // AllResults bundles every table, figure and extension study for
@@ -22,43 +23,65 @@ type AllResults struct {
 	ExtensionPhaseSwtch ExtReclaimData `json:"extensionPhaseSwitching"`
 }
 
+// CollectAll runs every experiment at the given scale on the
+// DefaultEngine and bundles the results.
+func CollectAll(scale int) (AllResults, error) { return DefaultEngine.CollectAll(scale) }
+
 // CollectAll runs every experiment at the given scale and bundles the
-// results.
-func CollectAll(scale int) (AllResults, error) {
+// results. On a parallel engine the drivers run concurrently: their
+// cells interleave on the worker pool and shared cells (e.g. every
+// workload's base run) are simulated once.
+func (e *Engine) CollectAll(scale int) (AllResults, error) {
 	var out AllResults
-	var err error
 	out.Table1 = Table1()
 	out.Table2 = Table2()
-	if out.Table4, err = Table4(scale); err != nil {
-		return out, fmt.Errorf("table 4: %w", err)
+
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"table 4", func() (err error) { out.Table4, err = e.Table4(scale); return }},
+		{"figure 1", func() (err error) { out.Figure1, err = e.Figure1(scale); return }},
+		{"figure 3", func() (err error) { out.Figure3, err = e.Figure3(scale); return }},
+		{"figure 4", func() (err error) { out.Figure4, err = e.Figure4(scale); return }},
+		{"figure 5", func() (err error) { out.Figure5, err = e.Figure5(scale); return }},
+		{"figure 6", func() (err error) { out.Figure6, err = e.Figure6(scale); return }},
+		{"extension 16 lanes", func() (err error) { out.Extension16Lanes, err = e.Extension16Lanes(scale); return }},
+		{"extension phase switching", func() (err error) { out.ExtensionPhaseSwtch, err = e.ExtensionPhaseSwitching(scale); return }},
 	}
-	if out.Figure1, err = Figure1(scale); err != nil {
-		return out, fmt.Errorf("figure 1: %w", err)
+	errs := make([]error, len(steps))
+	if e.Serial() {
+		for i, s := range steps {
+			if errs[i] = s.run(); errs[i] != nil {
+				return out, fmt.Errorf("%s: %w", s.name, errs[i])
+			}
+		}
+		return out, nil
 	}
-	if out.Figure3, err = Figure3(scale); err != nil {
-		return out, fmt.Errorf("figure 3: %w", err)
+	var wg sync.WaitGroup
+	for i, s := range steps {
+		wg.Add(1)
+		go func(i int, run func() error) {
+			defer wg.Done()
+			errs[i] = run()
+		}(i, s.run)
 	}
-	if out.Figure4, err = Figure4(scale); err != nil {
-		return out, fmt.Errorf("figure 4: %w", err)
-	}
-	if out.Figure5, err = Figure5(scale); err != nil {
-		return out, fmt.Errorf("figure 5: %w", err)
-	}
-	if out.Figure6, err = Figure6(scale); err != nil {
-		return out, fmt.Errorf("figure 6: %w", err)
-	}
-	if out.Extension16Lanes, err = Extension16Lanes(scale); err != nil {
-		return out, fmt.Errorf("extension 16 lanes: %w", err)
-	}
-	if out.ExtensionPhaseSwtch, err = ExtensionPhaseSwitching(scale); err != nil {
-		return out, fmt.Errorf("extension phase switching: %w", err)
+	wg.Wait()
+	for i, s := range steps {
+		if errs[i] != nil {
+			return out, fmt.Errorf("%s: %w", s.name, errs[i])
+		}
 	}
 	return out, nil
 }
 
+// MarshalAll runs every experiment on the DefaultEngine and returns
+// indented JSON.
+func MarshalAll(scale int) ([]byte, error) { return DefaultEngine.MarshalAll(scale) }
+
 // MarshalAll runs every experiment and returns indented JSON.
-func MarshalAll(scale int) ([]byte, error) {
-	res, err := CollectAll(scale)
+func (e *Engine) MarshalAll(scale int) ([]byte, error) {
+	res, err := e.CollectAll(scale)
 	if err != nil {
 		return nil, err
 	}

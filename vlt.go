@@ -204,56 +204,11 @@ func machineConfig(m Machine, opt Options) (core.Config, int, error) {
 // Run simulates the named workload on the named machine and returns the
 // measured result. Unless opt.SkipVerify is set, the workload's computed
 // output is verified against a host-side reference implementation.
+// Run always simulates (it does not consult any engine's cache); the
+// experiment drivers route the same cells through an Engine instead.
 func Run(workload string, m Machine, opt Options) (Result, error) {
-	w, err := workloads.ByName(workload)
-	if err != nil {
-		return Result{}, err
-	}
-	cfg, threads, err := machineConfig(m, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	scalarOnly := m == MachineCMT || m == MachineVLTScalar
-	if scalarOnly && w.Class != workloads.ScalarParallel {
-		return Result{}, fmt.Errorf("vlt: workload %q needs a vector unit; machine %q has none",
-			workload, m)
-	}
-	p := workloads.Params{
-		Threads: threads, Scale: opt.Scale,
-		ScalarOnly: scalarOnly, NoLaneReclaim: opt.NoLaneReclaim,
-	}
-	prog := w.Build(p)
-	machine, err := core.NewMachine(cfg, prog)
-	if err != nil {
-		return Result{}, err
-	}
-	res, err := machine.Run()
-	if err != nil {
-		return Result{}, err
-	}
-	out := Result{
-		Workload:       workload,
-		Machine:        m,
-		Threads:        threads,
-		Cycles:         res.Cycles,
-		Retired:        res.Retired,
-		VecIssued:      res.VecIssued,
-		VecElemOps:     res.VecElemOps,
-		Util:           utilizationPct(res.Util),
-		SUs:            res.SUs,
-		LaneCores:      res.LaneCore,
-		PercentVect:    res.Ops.PercentVect(),
-		AvgVL:          res.Ops.AvgVL(),
-		CommonVLs:      res.Ops.CommonVLs(4),
-		OpportunityPct: res.OpportunityPct,
-	}
-	if !opt.SkipVerify {
-		if err := w.Verify(machine.VM(), prog, p); err != nil {
-			return out, fmt.Errorf("vlt: verification failed: %w", err)
-		}
-		out.Verified = true
-	}
-	return out, nil
+	res, _, err := runCell(workload, m, opt)
+	return res, err
 }
 
 func utilizationPct(u vcl.Utilization) Utilization {
