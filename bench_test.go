@@ -175,6 +175,26 @@ func BenchmarkExpAll(b *testing.B) {
 	}
 }
 
+// BenchmarkRunBaseMXM is the metrics-registry overhead benchmark: one
+// full mxm run on the base machine, the configuration the golden-metrics
+// file pins down. The registry registers pointers to the counters the
+// pipeline models already maintain — no atomics, no per-event map
+// lookups, metric reads only at Snapshot() time — so this benchmark's
+// ns/op must stay within noise (<2%) of the pre-registry simulator.
+// Compare against a pre-registry checkout with `benchstat` to audit.
+func BenchmarkRunBaseMXM(b *testing.B) {
+	b.ReportAllocs()
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		r, err := Run("mxm", MachineBase, Options{SkipVerify: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = r.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simcycles")
+}
+
 // --- per-workload simulation throughput ---
 
 // BenchmarkSimulate measures raw simulator throughput (simulated cycles

@@ -5,11 +5,24 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"vlt"
 )
 
 func main() {
-	fmt.Println(vlt.Table1String())
-	fmt.Println(vlt.Table2String())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it writes the tables to stdout and
+// returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 0 {
+		fmt.Fprintln(stderr, "vltarea: usage: vltarea (no arguments)")
+		return 2
+	}
+	fmt.Fprintln(stdout, vlt.Table1String())
+	fmt.Fprintln(stdout, vlt.Table2String())
+	return 0
 }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunPrintsBothTables(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Table 1: area breakdown for vector processor components",
+		"component",
+		"area (mm^2)",
+		"Table 2",
+		"V4-CMP",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsArguments(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"extra"}, &out, &errOut); code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage") {
+		t.Errorf("stderr missing usage: %s", errOut.String())
+	}
+}

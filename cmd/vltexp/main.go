@@ -25,6 +25,8 @@ func main() {
 	tab := flag.Int("tab", 0, "print one table (1, 2, 3 or 4)")
 	ext := flag.Bool("ext", false, "print the extension studies (16 lanes, phase switching)")
 	jsonOut := flag.Bool("json", false, "emit every result as JSON (for plotting scripts)")
+	metricsFor := flag.String("metrics", "", "dump the named workload's full metric registry and exit")
+	machine := flag.String("machine", "base", "machine configuration for -metrics")
 	all := flag.Bool("all", false, "print every table and figure")
 	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial legacy path)")
 	progress := flag.Bool("progress", false, "report completed/total simulation cells on stderr")
@@ -49,7 +51,7 @@ func main() {
 		usageErr("-jobs %d: want 0 (GOMAXPROCS) or a positive worker count", *jobs)
 	}
 
-	if *fig == 0 && *tab == 0 && !*ext && !*jsonOut {
+	if *fig == 0 && *tab == 0 && !*ext && !*jsonOut && *metricsFor == "" {
 		*all = true
 	}
 
@@ -132,6 +134,17 @@ func main() {
 			die(err)
 		}
 		fmt.Println(dps)
+	}
+
+	if *metricsFor != "" {
+		// Machine-readable registry dump: one "name value" line per
+		// metric, sorted by name (the golden-metrics test's format).
+		res, err := vlt.Run(*metricsFor, vlt.Machine(*machine), vlt.Options{Scale: *scale})
+		if err != nil {
+			die(err)
+		}
+		fmt.Print(res.Metrics.String())
+		return
 	}
 
 	if *jsonOut {

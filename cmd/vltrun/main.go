@@ -1,11 +1,12 @@
 // Command vltrun assembles a textual program (the syntax of
 // internal/asm.ParseText) and runs it on a simulated machine, printing
-// cycle counts and, on request, register/memory state and a retirement
-// trace.
+// cycle counts and, on request, register/memory state, a retirement
+// trace, the full metric registry, or a cycle-interval time series.
 //
 // Usage:
 //
-//	vltrun [-machine base] [-threads N] [-trace] [-dump sym,sym] prog.vasm
+//	vltrun [-machine base] [-threads N] [-trace] [-stats] [-json]
+//	       [-sample N] [-dump sym,sym] prog.vasm
 //
 // Example program:
 //
@@ -22,71 +23,88 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"vlt/internal/asm"
 	"vlt/internal/core"
+	"vlt/internal/report"
 	"vlt/internal/scalar"
 )
 
 func main() {
-	machine := flag.String("machine", "base", "machine: base, V2-CMP, V4-CMT, CMT, VLT-scalar, ...")
-	threads := flag.Int("threads", 1, "software thread count")
-	lanes := flag.Int("lanes", 8, "lane count (base machine)")
-	trace := flag.Bool("trace", false, "print a retirement trace to stderr")
-	pipeview := flag.Bool("pipeview", false, "print a per-instruction pipeline timeline to stderr")
-	chrome := flag.String("chrometrace", "", "write a chrome://tracing JSON trace to this file")
-	dump := flag.String("dump", "", "comma-separated data symbols to dump after the run")
-	regs := flag.Bool("regs", false, "dump thread 0's integer registers")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "vltrun: usage: vltrun [flags] prog.vasm")
-		os.Exit(2)
+// run is the testable entry point: it parses args, simulates, writes to
+// stdout/stderr and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vltrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	machine := fs.String("machine", "base", "machine: base, V2-CMP, V4-CMT, CMT, VLT-scalar, ...")
+	threads := fs.Int("threads", 1, "software thread count")
+	lanes := fs.Int("lanes", 8, "lane count (base machine)")
+	trace := fs.Bool("trace", false, "print a retirement trace to stderr")
+	pipeview := fs.Bool("pipeview", false, "print a per-instruction pipeline timeline to stderr")
+	chrome := fs.String("chrometrace", "", "write a chrome://tracing JSON trace to this file")
+	dump := fs.String("dump", "", "comma-separated data symbols to dump after the run")
+	regs := fs.Bool("regs", false, "dump thread 0's integer registers")
+	stats := fs.Bool("stats", false, "print every registry metric after the run")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON (cycles plus the full metric map)")
+	sample := fs.Uint64("sample", 0, "record the metric time series every N cycles and print it as CSV")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "vltrun: usage: vltrun [flags] prog.vasm")
+		return 2
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltrun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltrun:", err)
+		return 1
 	}
 	// Accept both binary images (vltasm output) and assembly text.
 	var prog *asm.Program
 	if len(src) >= 4 && string(src[:4]) == "VLTP" {
 		prog, err = asm.LoadImage(src)
 	} else {
-		prog, err = asm.ParseText(flag.Arg(0), string(src))
+		prog, err = asm.ParseText(fs.Arg(0), string(src))
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltrun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltrun:", err)
+		return 1
 	}
 
 	cfg, err := machineConfig(*machine, *lanes, *threads)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltrun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltrun:", err)
+		return 1
 	}
+	cfg.SampleEvery = *sample
 	m, err := core.NewMachine(cfg, prog)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltrun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltrun:", err)
+		return 1
 	}
 	if *trace {
-		m.SetTrace(os.Stderr)
+		m.SetTrace(stderr)
 	}
 	if *pipeview {
-		m.SetPipeView(os.Stderr)
+		m.SetPipeView(stderr)
 	}
 	var chromeFile *os.File
 	var chromeTracer *core.ChromeTracer
 	if *chrome != "" {
 		chromeFile, err = os.Create(*chrome)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "vltrun:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "vltrun:", err)
+			return 1
 		}
 		chromeTracer = core.NewChromeTracer(chromeFile)
 		m.SetChromeTrace(chromeTracer)
@@ -94,25 +112,56 @@ func main() {
 	res, err := m.Run()
 	if chromeTracer != nil {
 		if cerr := chromeTracer.Close(); cerr != nil {
-			fmt.Fprintln(os.Stderr, "vltrun: trace:", cerr)
+			fmt.Fprintln(stderr, "vltrun: trace:", cerr)
 		}
 		chromeFile.Close()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltrun:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltrun:", err)
+		return 1
 	}
 
-	fmt.Printf("machine: %s  threads: %d\n", cfg.Name, cfg.NumThreads)
-	fmt.Printf("cycles:  %d   instructions: %d   IPC: %.2f\n",
-		res.Cycles, res.Retired, float64(res.Retired)/float64(res.Cycles))
-	if res.VecIssued > 0 {
-		fmt.Printf("vector:  %d instructions, %d element ops\n", res.VecIssued, res.VecElemOps)
+	snap := res.Metrics()
+	if *jsonOut {
+		out := struct {
+			Machine string             `json:"machine"`
+			Threads int                `json:"threads"`
+			Cycles  uint64             `json:"cycles"`
+			Retired uint64             `json:"retired"`
+			Metrics map[string]float64 `json:"metrics"`
+		}{cfg.Name, cfg.NumThreads, res.Cycles, res.Retired, snap.Map()}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "vltrun:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(data))
+		return 0
+	}
+
+	// The headline lines read from the registry snapshot — the same
+	// source every other export uses.
+	fmt.Fprintf(stdout, "machine: %s  threads: %d\n", cfg.Name, cfg.NumThreads)
+	fmt.Fprintf(stdout, "cycles:  %d   instructions: %d   IPC: %.2f\n",
+		res.Cycles, res.Retired, snap.Float("machine.ipc"))
+	if v := snap.Uint("vcl.issued"); v > 0 {
+		fmt.Fprintf(stdout, "vector:  %d instructions, %d element ops\n",
+			v, snap.Uint("vcl.elem_ops"))
+	}
+	if *stats {
+		pairs := make([][2]string, 0, len(snap))
+		for _, v := range snap {
+			pairs = append(pairs, [2]string{v.Name, v.FormatValue()})
+		}
+		fmt.Fprint(stdout, report.Metrics("\nmetrics", pairs))
+	}
+	if s := res.Samples(); s != nil && s.Len() > 0 {
+		fmt.Fprintf(stdout, "\nsamples (every %d cycles):\n%s", s.Interval(), s.CSV())
 	}
 	if *regs {
 		th := m.VM().Thread(0)
 		for i := 0; i < 32; i += 4 {
-			fmt.Printf("r%-2d=%-16d r%-2d=%-16d r%-2d=%-16d r%-2d=%d\n",
+			fmt.Fprintf(stdout, "r%-2d=%-16d r%-2d=%-16d r%-2d=%-16d r%-2d=%d\n",
 				i, int64(th.IntRegs[i]), i+1, int64(th.IntRegs[i+1]),
 				i+2, int64(th.IntRegs[i+2]), i+3, int64(th.IntRegs[i+3]))
 		}
@@ -122,7 +171,7 @@ func main() {
 			sym = strings.TrimSpace(sym)
 			addr, ok := prog.Symbols[sym]
 			if !ok {
-				fmt.Printf("%s: unknown symbol\n", sym)
+				fmt.Fprintf(stdout, "%s: unknown symbol\n", sym)
 				continue
 			}
 			// Dump up to the next symbol or 16 words.
@@ -136,13 +185,14 @@ func main() {
 			if n > 16 {
 				n = 16
 			}
-			fmt.Printf("%s @%#x:", sym, addr)
+			fmt.Fprintf(stdout, "%s @%#x:", sym, addr)
 			for i := 0; i < n; i++ {
-				fmt.Printf(" %d", m.VM().Mem.MustRead(addr+uint64(i)*8))
+				fmt.Fprintf(stdout, " %d", m.VM().Mem.MustRead(addr+uint64(i)*8))
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 	}
+	return 0
 }
 
 func machineConfig(name string, lanes, threads int) (core.Config, error) {

@@ -9,76 +9,82 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"vlt"
+	"vlt/internal/report"
 )
 
 func main() {
-	workload := flag.String("workload", "", "workload name (see -list)")
-	machine := flag.String("machine", "base", "machine configuration")
-	scale := flag.Int("scale", 1, "problem size multiplier")
-	lanes := flag.Int("lanes", 0, "lane count override (base machine only)")
-	threads := flag.Int("threads", 0, "software thread count override")
-	list := flag.Bool("list", false, "list workloads and machines")
-	noVerify := flag.Bool("no-verify", false, "skip result verification")
-	verbose := flag.Bool("v", false, "print per-unit pipeline statistics")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, simulates, writes to
+// stdout/stderr and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vltsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "", "workload name (see -list)")
+	machine := fs.String("machine", "base", "machine configuration")
+	scale := fs.Int("scale", 1, "problem size multiplier")
+	lanes := fs.Int("lanes", 0, "lane count override (base machine only)")
+	threads := fs.Int("threads", 0, "software thread count override")
+	list := fs.Bool("list", false, "list workloads and machines")
+	noVerify := fs.Bool("no-verify", false, "skip result verification")
+	verbose := fs.Bool("v", false, "print the full metric registry")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("workloads:", strings.Join(vlt.Workloads(), " "))
+		fmt.Fprintln(stdout, "workloads:", strings.Join(vlt.Workloads(), " "))
 		var ms []string
 		for _, m := range vlt.Machines() {
 			ms = append(ms, string(m))
 		}
-		fmt.Println("machines: ", strings.Join(ms, " "))
-		return
+		fmt.Fprintln(stdout, "machines: ", strings.Join(ms, " "))
+		return 0
 	}
 	if *workload == "" {
-		fmt.Fprintln(os.Stderr, "vltsim: -workload is required (try -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "vltsim: -workload is required (try -list)")
+		return 2
 	}
 
 	res, err := vlt.Run(*workload, vlt.Machine(*machine), vlt.Options{
 		Scale: *scale, Lanes: *lanes, Threads: *threads, SkipVerify: *noVerify,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltsim:", err)
+		return 1
 	}
 
-	fmt.Printf("workload:        %s on %s (%d thread(s), scale %d)\n",
+	fmt.Fprintf(stdout, "workload:        %s on %s (%d thread(s), scale %d)\n",
 		res.Workload, res.Machine, res.Threads, *scale)
-	fmt.Printf("cycles:          %d\n", res.Cycles)
-	fmt.Printf("instructions:    %d retired (IPC %.2f)\n", res.Retired, res.IPC())
-	fmt.Printf("vector:          %d instructions, %d element ops\n", res.VecIssued, res.VecElemOps)
+	fmt.Fprintf(stdout, "cycles:          %d\n", res.Cycles)
+	fmt.Fprintf(stdout, "instructions:    %d retired (IPC %.2f)\n", res.Retired, res.IPC())
+	fmt.Fprintf(stdout, "vector:          %d instructions, %d element ops\n", res.VecIssued, res.VecElemOps)
 	if res.VecIssued > 0 {
-		fmt.Printf("datapaths:       busy %.1f%%  partly-idle %.1f%%  stalled %.1f%%  all-idle %.1f%%\n",
+		fmt.Fprintf(stdout, "datapaths:       busy %.1f%%  partly-idle %.1f%%  stalled %.1f%%  all-idle %.1f%%\n",
 			res.Util.BusyPct, res.Util.PartIdlePct, res.Util.StalledPct, res.Util.AllIdlePct)
 	}
-	fmt.Printf("characteristics: %%vect %.1f, avg VL %.1f, common VLs %v, opportunity %.1f%%\n",
+	fmt.Fprintf(stdout, "characteristics: %%vect %.1f, avg VL %.1f, common VLs %v, opportunity %.1f%%\n",
 		res.PercentVect, res.AvgVL, res.CommonVLs, res.OpportunityPct)
 	if res.Verified {
-		fmt.Println("verification:    PASS (results match host reference)")
+		fmt.Fprintln(stdout, "verification:    PASS (results match host reference)")
 	} else {
-		fmt.Println("verification:    skipped")
+		fmt.Fprintln(stdout, "verification:    skipped")
 	}
 	if *verbose {
-		for _, su := range res.SUs {
-			fmt.Printf("SU%d:  fetched %d  dispatched %d  issued %d  retired %d\n",
-				su.ID, su.Fetched, su.Dispatched, su.Issued, su.Retired)
-			fmt.Printf("      stalls: branch %d  icache %d  rob %d  window %d  viq %d\n",
-				su.FetchStallBranch, su.FetchStallICache,
-				su.DispStallROB, su.DispStallWindow, su.DispStallVIQ)
-			fmt.Printf("      bpred mispredict %.1f%%  L1I hit %.1f%%  L1D hit %.1f%%\n",
-				su.BranchMispredictPct, su.L1IHitPct, su.L1DHitPct)
+		// The registry-driven listing replaces the old hand-written
+		// per-SU/per-lane printf block: every unit's counters appear
+		// under its own su<N>./lane<N>. prefix.
+		pairs := make([][2]string, 0, len(res.Metrics))
+		for _, m := range res.Metrics {
+			pairs = append(pairs, [2]string{m.Name, m.FormatValue()})
 		}
-		for _, lc := range res.LaneCores {
-			fmt.Printf("lane%d: fetched %d  issued %d  retired %d  stalls: operand %d  memport %d\n",
-				lc.ID, lc.Fetched, lc.Issued, lc.Retired, lc.StallOperand, lc.StallMemPort)
-			fmt.Printf("       bpred mispredict %.1f%%  I$ hit %.1f%%\n",
-				lc.BranchMispredictPct, lc.ICacheHitPct)
-		}
+		fmt.Fprint(stdout, report.Metrics("\nmetrics", pairs))
 	}
+	return 0
 }

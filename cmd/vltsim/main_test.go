@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"workloads:", "mxm", "machines:", "V2-CMP"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-list output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunWorkloadSmoke(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-workload", "mxm", "-machine", "base"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"workload:        mxm on base",
+		"cycles:",
+		"datapaths:",
+		"verification:    PASS",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunVerboseMetrics(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-workload", "mxm", "-machine", "base", "-v", "-no-verify"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"metrics", "su0.fetch.instrs", "vcl.util.busy", "l2.reads", "vm.ops.avg_vl"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-v output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("missing -workload: exit %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-workload", "nope"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown workload: exit %d, want 1", code)
+	}
+	if errOut.Len() == 0 {
+		t.Error("unknown workload produced no diagnostic")
+	}
+}

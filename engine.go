@@ -201,6 +201,10 @@ func runCell(workload string, m Machine, opt Options) (Result, UtilizationCounts
 		Busy: res.Util.Busy, PartIdle: res.Util.PartIdle,
 		Stalled: res.Util.Stalled, AllIdle: res.Util.AllIdle,
 	}
+	metrics := make(Metrics, 0, len(res.Metrics()))
+	for _, v := range res.Metrics() {
+		metrics = append(metrics, Metric{Name: v.Name, Value: v.AsFloat()})
+	}
 	out := Result{
 		Workload:       workload,
 		Machine:        m,
@@ -216,6 +220,7 @@ func runCell(workload string, m Machine, opt Options) (Result, UtilizationCounts
 		AvgVL:          res.Ops.AvgVL(),
 		CommonVLs:      res.Ops.CommonVLs(4),
 		OpportunityPct: res.OpportunityPct,
+		Metrics:        metrics,
 	}
 	if !opt.SkipVerify {
 		if err := w.Verify(machine.VM(), prog, p); err != nil {

@@ -1,20 +1,30 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"vlt/internal/pipe"
+	"vlt/internal/stats"
 )
+
+// maxTraceName caps instruction names in trace events; anything longer
+// (a disassembly bug, a pathological operand list) is truncated rather
+// than ballooning the trace file.
+const maxTraceName = 120
 
 // ChromeTracer converts retirement events into Chrome trace-event JSON
 // (the chrome://tracing / Perfetto format): one duration event per
 // instruction spanning fetch to completion, one row per software thread.
-// Attach with Machine.SetChromeTrace and Close it after Run.
+// At Close it appends a "metrics" metadata event carrying the machine's
+// final counter snapshot, so a trace file is self-describing. Attach
+// with Machine.SetChromeTrace and Close it after Run.
 type ChromeTracer struct {
 	w     io.Writer
 	first bool
 	err   error
+	reg   *stats.Registry // final-snapshot source, set by SetChromeTrace
 }
 
 // NewChromeTracer starts a trace-event array on w.
@@ -22,6 +32,31 @@ func NewChromeTracer(w io.Writer) *ChromeTracer {
 	t := &ChromeTracer{w: w, first: true}
 	_, t.err = io.WriteString(w, "[\n")
 	return t
+}
+
+// traceName returns the instruction's display name, truncated to
+// maxTraceName runes and JSON-quoted (json.Marshal escapes control and
+// non-UTF-8 bytes that Go's %q would render as JSON-invalid \x escapes).
+func traceName(s string) string {
+	if len(s) > maxTraceName {
+		runes := []rune(s)
+		if len(runes) > maxTraceName {
+			s = string(runes[:maxTraceName]) + "..."
+		}
+	}
+	q, err := json.Marshal(s)
+	if err != nil {
+		return `"?"`
+	}
+	return string(q)
+}
+
+func (t *ChromeTracer) sep() string {
+	if t.first {
+		t.first = false
+		return ""
+	}
+	return ",\n"
 }
 
 func (t *ChromeTracer) emit(now uint64, tid int, u *pipe.Uop) {
@@ -36,18 +71,22 @@ func (t *ChromeTracer) emit(now uint64, tid int, u *pipe.Uop) {
 	if dur == 0 {
 		dur = 1
 	}
-	sep := ",\n"
-	if t.first {
-		sep = ""
-		t.first = false
-	}
 	_, t.err = fmt.Fprintf(t.w,
-		`%s  {"name": %q, "cat": "uop", "ph": "X", "ts": %d, "dur": %d, "pid": 0, "tid": %d, "args": {"pc": %d, "issue": %d}}`,
-		sep, u.Dyn.Inst.String(), u.FetchCycle, dur, tid, u.Dyn.PC, u.IssueCycle)
+		`%s  {"name": %s, "cat": "uop", "ph": "X", "ts": %d, "dur": %d, "pid": 0, "tid": %d, "args": {"pc": %d, "issue": %d}}`,
+		t.sep(), traceName(u.Dyn.Inst.String()), u.FetchCycle, dur, tid, u.Dyn.PC, u.IssueCycle)
 }
 
-// Close terminates the JSON array and reports any write error.
+// Close appends the final metric snapshot as a metadata event, then
+// terminates the JSON array and reports any write error.
 func (t *ChromeTracer) Close() error {
+	if t.err == nil && t.reg != nil {
+		args, err := json.Marshal(t.reg.Snapshot().Map()) // sorted keys
+		if err == nil {
+			_, t.err = fmt.Fprintf(t.w,
+				`%s  {"name": "metrics", "cat": "meta", "ph": "M", "pid": 0, "tid": 0, "args": %s}`,
+				t.sep(), args)
+		}
+	}
 	if t.err != nil {
 		return t.err
 	}
@@ -56,7 +95,10 @@ func (t *ChromeTracer) Close() error {
 }
 
 // SetChromeTrace attaches a ChromeTracer: every retired instruction is
-// emitted as a duration event. Call tracer.Close after Run.
+// emitted as a duration event, and the tracer gains access to the
+// machine's metric registry for its Close-time snapshot. Call
+// tracer.Close after Run.
 func (m *Machine) SetChromeTrace(t *ChromeTracer) {
 	m.chrome = t
+	t.reg = m.reg
 }

@@ -44,6 +44,17 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations (0 = default guard).
 	MaxCycles uint64
+
+	// SampleEvery, when non-zero, enables the metric registry's
+	// time-series sampler: the metrics named in SampleMetrics (or
+	// DefaultSampleMetrics when empty) are recorded every SampleEvery
+	// cycles. Read the series back with Machine.Sampler or
+	// Result.Samples after the run.
+	SampleEvery uint64
+
+	// SampleMetrics selects the registry metrics to sample. Names not
+	// registered on this configuration are dropped silently.
+	SampleMetrics []string
 }
 
 // Validate checks structural consistency.

@@ -218,12 +218,45 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
 		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
 	}
-	if len(events) != len(tinyVectorProgram().Code) {
-		t.Errorf("%d events, want %d", len(events), len(tinyVectorProgram().Code))
+	// One duration event per instruction plus the Close-time metrics
+	// metadata event.
+	if len(events) != len(tinyVectorProgram().Code)+1 {
+		t.Errorf("%d events, want %d", len(events), len(tinyVectorProgram().Code)+1)
 	}
-	for _, e := range events {
+	for _, e := range events[:len(events)-1] {
 		if e["ph"] != "X" || e["name"] == "" {
 			t.Errorf("malformed event: %v", e)
+		}
+	}
+	meta := events[len(events)-1]
+	if meta["ph"] != "M" || meta["name"] != "metrics" {
+		t.Fatalf("last event is not the metrics snapshot: %v", meta)
+	}
+	args, ok := meta["args"].(map[string]any)
+	if !ok || len(args) < 40 {
+		t.Fatalf("metrics event carries %d counters, want >= 40", len(args))
+	}
+	if args["machine.cycles"].(float64) <= 0 || args["vcl.issued"].(float64) <= 0 {
+		t.Errorf("metrics event missing machine.cycles/vcl.issued: %v", args)
+	}
+}
+
+// traceName must keep trace events valid JSON for hostile instruction
+// names (control bytes, invalid UTF-8) and cap runaway lengths.
+func TestChromeTraceNameEscaping(t *testing.T) {
+	for _, hostile := range []string{
+		"add\x00r1, r2",
+		"bad\x80\xfebytes",
+		"quote\"and\\slash",
+		strings.Repeat("x", 4096),
+	} {
+		q := traceName(hostile)
+		var back string
+		if err := json.Unmarshal([]byte(q), &back); err != nil {
+			t.Fatalf("traceName(%q) emitted invalid JSON %q: %v", hostile, q, err)
+		}
+		if len(q) > maxTraceName*8 {
+			t.Fatalf("traceName did not cap %d-byte name (got %d bytes)", len(hostile), len(q))
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"vlt/internal/mem"
 	"vlt/internal/pipe"
 	"vlt/internal/scalar"
+	"vlt/internal/stats"
 	"vlt/internal/vcl"
 	"vlt/internal/vm"
 )
@@ -77,7 +78,19 @@ type Result struct {
 
 	L2BankStalls uint64
 	L2HitRate    float64
+
+	metrics stats.Snapshot
+	samples *stats.Sampler
 }
+
+// Metrics returns the full registry snapshot the result was assembled
+// from: every registered counter and gauge, sorted by name. This is the
+// machine-readable superset of the typed fields above.
+func (r Result) Metrics() stats.Snapshot { return r.metrics }
+
+// Samples returns the cycle-interval time series recorded during the
+// run, or nil when Config.SampleEvery was zero.
+func (r Result) Samples() *stats.Sampler { return r.samples }
 
 // Speedup returns base-cycles / this-run-cycles.
 func (r Result) Speedup(base Result) float64 {
@@ -102,6 +115,10 @@ type Machine struct {
 	trace  io.Writer
 	pipes  io.Writer
 	chrome *ChromeTracer
+
+	reg          *stats.Registry
+	sampler      *stats.Sampler
+	regionCycles map[int64]uint64
 }
 
 // SetTrace directs a retirement trace to w: one line per retired
@@ -126,10 +143,11 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{
-		cfg:    cfg,
-		vm:     machine,
-		l2:     mem.NewL2(cfg.L2),
-		region: make([]int64, cfg.NumThreads),
+		cfg:          cfg,
+		vm:           machine,
+		l2:           mem.NewL2(cfg.L2),
+		region:       make([]int64, cfg.NumThreads),
+		regionCycles: make(map[int64]uint64),
 	}
 
 	if cfg.Lanes > 0 && !cfg.LaneScalarMode {
@@ -154,6 +172,7 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 			m.lcs = append(m.lcs, c)
 			m.locs[t] = location{onLane: true, unit: t}
 		}
+		m.registerMetrics()
 		return m, nil
 	}
 
@@ -172,8 +191,98 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 			next++
 		}
 	}
+	m.registerMetrics()
 	return m, nil
 }
+
+// DefaultSampleMetrics is the default time-series selection when
+// Config.SampleEvery is set without SampleMetrics: the vector-datapath
+// occupancy census over time (the raw material for a Figure-4-style
+// animation) plus overall progress. Names absent on a configuration
+// (e.g. no vector unit) are dropped by the sampler.
+func DefaultSampleMetrics() []string {
+	return []string{
+		"machine.retired",
+		"vcl.util.busy", "vcl.util.part_idle", "vcl.util.stalled",
+		"vcl.util.all_idle", "vcl.util.busy_pct",
+		"vcl.issued", "vcl.elem_ops",
+		"l2.bank_stalls",
+	}
+}
+
+// registerMetrics builds the machine's unified metric registry: every
+// component registers its counters under a hierarchical prefix (su0.*,
+// lane3.*, vcl.*, l2.*, vm.ops.*), plus machine-level aggregates derived
+// from them. Result assembly, the machine-readable exports and the
+// time-series sampler all read from this registry; nothing is hand-wired
+// per field anymore.
+func (m *Machine) registerMetrics() {
+	m.reg = stats.New()
+	mr := m.reg.Scope("machine")
+	mr.CounterFn("cycles", func() uint64 { return m.now })
+	mr.CounterFn("threads", func() uint64 { return uint64(m.cfg.NumThreads) })
+	mr.CounterFn("retired", func() uint64 {
+		var n uint64
+		for _, su := range m.sus {
+			n += su.Retired
+		}
+		for _, c := range m.lcs {
+			n += c.Retired
+		}
+		return n
+	})
+	mr.Gauge("ipc", func() float64 {
+		if m.now == 0 {
+			return 0
+		}
+		var n uint64
+		for _, su := range m.sus {
+			n += su.Retired
+		}
+		for _, c := range m.lcs {
+			n += c.Retired
+		}
+		return float64(n) / float64(m.now)
+	})
+	mr.Gauge("opportunity_pct", func() float64 {
+		if m.now == 0 {
+			return 0
+		}
+		var opp uint64
+		for region, cyc := range m.regionCycles {
+			if region > 0 {
+				opp += cyc
+			}
+		}
+		return 100 * float64(opp) / float64(m.now)
+	})
+	for i, su := range m.sus {
+		su.RegisterMetrics(m.reg.Scope(fmt.Sprintf("su%d", i)))
+	}
+	for i, c := range m.lcs {
+		c.RegisterMetrics(m.reg.Scope(fmt.Sprintf("lane%d", i)))
+	}
+	if m.vu != nil {
+		m.vu.RegisterMetrics(m.reg.Scope("vcl"))
+	}
+	m.l2.RegisterMetrics(m.reg.Scope("l2"))
+	m.vm.Stats.RegisterMetrics(m.reg.Scope("vm.ops"))
+
+	if m.cfg.SampleEvery > 0 {
+		names := m.cfg.SampleMetrics
+		if len(names) == 0 {
+			names = DefaultSampleMetrics()
+		}
+		m.sampler = m.reg.NewSampler(m.cfg.SampleEvery, names...)
+	}
+}
+
+// Registry exposes the machine's metric registry (live values; take a
+// Snapshot for a consistent export).
+func (m *Machine) Registry() *stats.Registry { return m.reg }
+
+// Sampler exposes the time-series sampler, or nil when sampling is off.
+func (m *Machine) Sampler() *stats.Sampler { return m.sampler }
 
 // VM exposes the functional machine (for result verification).
 func (m *Machine) VM() *vm.VM { return m.vm }
@@ -298,10 +407,12 @@ func (m *Machine) coordinate(now uint64) {
 	}
 }
 
-// Run simulates to completion and returns the result.
+// Run simulates to completion and returns the result, assembled from
+// the metric registry: every field that used to be hand-copied from a
+// component is now read back through its registered metric, so the
+// registry is the single source of truth for all exports.
 func (m *Machine) Run() (Result, error) {
 	var now uint64
-	regionCycles := make(map[int64]uint64)
 	for ; !m.done(); now++ {
 		m.now = now
 		if now >= m.cfg.MaxCycles {
@@ -320,52 +431,66 @@ func (m *Machine) Run() (Result, error) {
 			return Result{}, err
 		}
 		m.coordinate(now)
-		regionCycles[m.region[0]]++
+		m.regionCycles[m.region[0]]++
+		if m.sampler != nil {
+			m.sampler.Tick(now)
+		}
 	}
+	m.now = now // the registry's machine.cycles reads the final count
 
+	snap := m.reg.Snapshot()
 	res := Result{
-		Config:       m.cfg.Name,
-		Cycles:       now,
-		RegionCycles: regionCycles,
-		Ops:          m.vm.Stats,
-		L2BankStalls: m.l2.BankStalls,
-		L2HitRate:    m.l2.Cache().HitRate(),
+		Config:         m.cfg.Name,
+		Cycles:         snap.Uint("machine.cycles"),
+		Retired:        snap.Uint("machine.retired"),
+		RegionCycles:   m.regionCycles,
+		Ops:            m.vm.Stats,
+		L2BankStalls:   snap.Uint("l2.bank_stalls"),
+		L2HitRate:      snap.Float("l2.hit_rate"),
+		OpportunityPct: snap.Float("machine.opportunity_pct"),
+		metrics:        snap,
+		samples:        m.sampler,
 	}
-	for _, su := range m.sus {
-		res.Retired += su.Retired
+	for i, su := range m.sus {
+		p := fmt.Sprintf("su%d.", i)
 		res.SUs = append(res.SUs, SUStat{
-			ID: su.ID, Fetched: su.Fetched, Dispatched: su.Dispatched,
-			Issued: su.IssuedCount, Retired: su.Retired,
-			FetchStallBranch: su.FetchStallBranch, FetchStallICache: su.FetchStallICache,
-			DispStallROB: su.DispStallROB, DispStallWindow: su.DispStallWindow,
-			DispStallVIQ:        su.DispStallVIQ,
-			BranchMispredictPct: 100 * su.Predictor().MispredictRate(),
-			L1IHitPct:           100 * su.ICache().Cache().HitRate(),
-			L1DHitPct:           100 * su.DCache().Cache().HitRate(),
+			ID:                  su.ID,
+			Fetched:             snap.Uint(p + "fetch.instrs"),
+			Dispatched:          snap.Uint(p + "dispatch.instrs"),
+			Issued:              snap.Uint(p + "issue.instrs"),
+			Retired:             snap.Uint(p + "retire.instrs"),
+			FetchStallBranch:    snap.Uint(p + "fetch.stall.branch"),
+			FetchStallICache:    snap.Uint(p + "fetch.stall.icache"),
+			DispStallROB:        snap.Uint(p + "dispatch.stall.rob"),
+			DispStallWindow:     snap.Uint(p + "dispatch.stall.window"),
+			DispStallVIQ:        snap.Uint(p + "dispatch.stall.viq"),
+			BranchMispredictPct: snap.Float(p + "bpred.mispredict_pct"),
+			L1IHitPct:           snap.Float(p + "l1i.hit_pct"),
+			L1DHitPct:           snap.Float(p + "l1d.hit_pct"),
 		})
 	}
-	for _, c := range m.lcs {
-		res.Retired += c.Retired
+	for i, c := range m.lcs {
+		p := fmt.Sprintf("lane%d.", i)
 		res.LaneCore = append(res.LaneCore, LaneStat{
-			ID: c.ID, Fetched: c.Fetched, Issued: c.Issued, Retired: c.Retired,
-			StallOperand: c.StallOperand, StallMemPort: c.StallMemPort,
-			BranchMispredictPct: 100 * c.Predictor().MispredictRate(),
-			ICacheHitPct:        100 * c.ICache().Cache().HitRate(),
+			ID:                  c.ID,
+			Fetched:             snap.Uint(p + "fetch.instrs"),
+			Issued:              snap.Uint(p + "issue.instrs"),
+			Retired:             snap.Uint(p + "retire.instrs"),
+			StallOperand:        snap.Uint(p + "stall.operand"),
+			StallMemPort:        snap.Uint(p + "stall.mem_port"),
+			BranchMispredictPct: snap.Float(p + "bpred.mispredict_pct"),
+			ICacheHitPct:        snap.Float(p + "icache.hit_pct"),
 		})
 	}
 	if m.vu != nil {
-		res.Util = m.vu.Util
-		res.VecIssued = m.vu.VecIssued
-		res.VecElemOps = m.vu.VecElemOps
-	}
-	var opp uint64
-	for region, cyc := range regionCycles {
-		if region > 0 {
-			opp += cyc
+		res.Util = vcl.Utilization{
+			Busy:     snap.Uint("vcl.util.busy"),
+			PartIdle: snap.Uint("vcl.util.part_idle"),
+			Stalled:  snap.Uint("vcl.util.stalled"),
+			AllIdle:  snap.Uint("vcl.util.all_idle"),
 		}
-	}
-	if now > 0 {
-		res.OpportunityPct = 100 * float64(opp) / float64(now)
+		res.VecIssued = snap.Uint("vcl.issued")
+		res.VecElemOps = snap.Uint("vcl.elem_ops")
 	}
 	return res, nil
 }

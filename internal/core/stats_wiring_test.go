@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The registry refactor's differential guarantee: Result is assembled
+// from the metric registry, and every assembled field must equal the
+// value read directly off the owning component — for every machine
+// shape (OoO SUs with and without a vector unit, SMT, lane cores).
+// Combined with the pre-existing figure/table goldens this pins the
+// refactor to byte-identical output.
+func TestResultAssembledFromRegistryMatchesComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	type run struct {
+		cfg    Config
+		scalar bool
+	}
+	runs := []run{
+		{Base(8), false},
+		{V2CMP(), false},
+		{V4SMT(), false},
+		{VLTScalar(4), true},
+		{CMT(4), true},
+	}
+	for _, rc := range runs {
+		var prog = genProgramKind(rng, rc.cfg.NumThreads, rc.scalar)
+		m, err := NewMachine(rc.cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", rc.cfg.Name, err)
+		}
+
+		var wantRetired uint64
+		for i, su := range m.sus {
+			got := res.SUs[i]
+			wantRetired += su.Retired
+			if got.Fetched != su.Fetched || got.Dispatched != su.Dispatched ||
+				got.Issued != su.IssuedCount || got.Retired != su.Retired ||
+				got.FetchStallBranch != su.FetchStallBranch ||
+				got.FetchStallICache != su.FetchStallICache ||
+				got.DispStallROB != su.DispStallROB ||
+				got.DispStallWindow != su.DispStallWindow ||
+				got.DispStallVIQ != su.DispStallVIQ {
+				t.Errorf("%s su%d: registry-assembled SUStat %+v diverges from unit fields", rc.cfg.Name, i, got)
+			}
+			if got.BranchMispredictPct != 100*su.Predictor().MispredictRate() ||
+				got.L1IHitPct != 100*su.ICache().Cache().HitRate() ||
+				got.L1DHitPct != 100*su.DCache().Cache().HitRate() {
+				t.Errorf("%s su%d: derived gauges diverge", rc.cfg.Name, i)
+			}
+		}
+		for i, c := range m.lcs {
+			got := res.LaneCore[i]
+			wantRetired += c.Retired
+			if got.Fetched != c.Fetched || got.Issued != c.Issued || got.Retired != c.Retired ||
+				got.StallOperand != c.StallOperand || got.StallMemPort != c.StallMemPort {
+				t.Errorf("%s lane%d: registry-assembled LaneStat %+v diverges from core fields", rc.cfg.Name, i, got)
+			}
+			if got.BranchMispredictPct != 100*c.Predictor().MispredictRate() ||
+				got.ICacheHitPct != 100*c.ICache().Cache().HitRate() {
+				t.Errorf("%s lane%d: derived gauges diverge", rc.cfg.Name, i)
+			}
+		}
+		if res.Retired != wantRetired {
+			t.Errorf("%s: Retired = %d, want %d", rc.cfg.Name, res.Retired, wantRetired)
+		}
+		if m.vu != nil {
+			if res.Util != m.vu.Util {
+				t.Errorf("%s: Util %+v != vcl census %+v", rc.cfg.Name, res.Util, m.vu.Util)
+			}
+			if res.VecIssued != m.vu.VecIssued || res.VecElemOps != m.vu.VecElemOps {
+				t.Errorf("%s: vector issue counters diverge", rc.cfg.Name)
+			}
+		}
+		if res.L2BankStalls != m.l2.BankStalls || res.L2HitRate != m.l2.Cache().HitRate() {
+			t.Errorf("%s: L2 stats diverge", rc.cfg.Name)
+		}
+		if res.Cycles == 0 || res.Cycles != res.Metrics().Uint("machine.cycles") {
+			t.Errorf("%s: cycles %d not mirrored in registry", rc.cfg.Name, res.Cycles)
+		}
+	}
+}
+
+// Every metric name is hierarchical (dot-separated, lowercase) and the
+// snapshot is sorted — the contract the golden files and JSON exports
+// rely on.
+func TestMetricNamingAndOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := V2CMP()
+	m, err := NewMachine(cfg, genProgram(rng, cfg.NumThreads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Registry().Snapshot()
+	if len(snap) < 40 {
+		t.Errorf("only %d metrics registered, want >= 40", len(snap))
+	}
+	prev := ""
+	for _, v := range snap {
+		if v.Name <= prev {
+			t.Errorf("snapshot unsorted: %q after %q", v.Name, prev)
+		}
+		prev = v.Name
+		if strings.ToLower(v.Name) != v.Name || strings.Contains(v.Name, " ") {
+			t.Errorf("metric %q violates the naming scheme", v.Name)
+		}
+	}
+}
+
+// The sampler records the vector-datapath occupancy census at the
+// configured interval, and its rows are monotone (counters only grow).
+func TestSamplerRecordsOccupancySeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cfg := Base(8)
+	cfg.SampleEvery = 50
+	m, err := NewMachine(cfg, genProgram(rng, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Samples()
+	if s == nil {
+		t.Fatal("SampleEvery set but Result.Samples is nil")
+	}
+	if s.Len() < 2 {
+		t.Fatalf("recorded %d samples over %d cycles (interval 50)", s.Len(), res.Cycles)
+	}
+	names := s.Names()
+	busyCol := -1
+	for i, n := range names {
+		if n == "vcl.util.busy" {
+			busyCol = i
+		}
+	}
+	if busyCol < 0 {
+		t.Fatalf("default sample set %v lacks vcl.util.busy", names)
+	}
+	var prevCycle uint64
+	var prevBusy float64
+	for i := 0; i < s.Len(); i++ {
+		cyc, vals := s.Row(i)
+		if i > 0 && cyc != prevCycle+50 {
+			t.Fatalf("row %d at cycle %d, want %d", i, cyc, prevCycle+50)
+		}
+		if vals[busyCol] < prevBusy {
+			t.Fatalf("busy census shrank at row %d", i)
+		}
+		prevCycle, prevBusy = cyc, vals[busyCol]
+	}
+	// The cumulative census ends at the run's final value.
+	_, last := s.Row(s.Len() - 1)
+	if last[busyCol] > float64(res.Util.Busy) {
+		t.Fatalf("sampled busy %v exceeds final census %d", last[busyCol], res.Util.Busy)
+	}
+	// A no-vector-unit machine quietly samples the scalar subset.
+	cfg2 := CMT(4)
+	cfg2.SampleEvery = 100
+	m2, err := NewMachine(cfg2, genProgramKind(rng, 4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range m2.Sampler().Names() {
+		if strings.HasPrefix(n, "vcl.") {
+			t.Fatalf("scalar-only machine samples %q", n)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"vlt/internal/mem"
 	"vlt/internal/pipe"
 	"vlt/internal/scalar"
+	"vlt/internal/stats"
 	"vlt/internal/vm"
 )
 
@@ -108,6 +109,21 @@ func (c *Core) ICache() *mem.L1 { return c.icache }
 
 // Predictor exposes the branch predictor (statistics).
 func (c *Core) Predictor() *pipe.Bimodal { return c.pred }
+
+// RegisterMetrics registers every pipeline counter on r (scoped to
+// "lane<ID>" by the machine model). Counters stay plain uint64 fields;
+// the registry only reads them at snapshot time.
+func (c *Core) RegisterMetrics(r *stats.Registry) {
+	r.Counter("fetch.instrs", &c.Fetched)
+	r.Counter("issue.instrs", &c.Issued)
+	r.Counter("retire.instrs", &c.Retired)
+	r.Counter("stall.operand", &c.StallOperand)
+	r.Counter("stall.mem_port", &c.StallMemPort)
+	r.Counter("bpred.lookups", &c.pred.Lookups)
+	r.Counter("bpred.mispredicts", &c.pred.Mispredicts)
+	r.Gauge("bpred.mispredict_pct", func() float64 { return 100 * c.pred.MispredictRate() })
+	c.icache.RegisterMetrics(r.Scope("icache"))
+}
 
 // AttachThread binds software thread tid to this core.
 func (c *Core) AttachThread(tid int) {

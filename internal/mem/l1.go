@@ -1,5 +1,7 @@
 package mem
 
+import "vlt/internal/stats"
+
 // L1Config parameterizes a first-level (or lane instruction) cache.
 type L1Config struct {
 	SizeBytes int
@@ -40,6 +42,16 @@ func NewL1(cfg L1Config, l2 *L2) *L1 {
 
 // Cache exposes the tag array (for statistics).
 func (l *L1) Cache() *Cache { return l.cache }
+
+// RegisterMetrics registers the cache's counters on r (callers scope r
+// to the cache's position, e.g. "su0.l1d").
+func (l *L1) RegisterMetrics(r *stats.Registry) {
+	r.Counter("accesses", &l.Accesses)
+	r.Counter("misses", &l.MissTo2)
+	r.Counter("tag.hits", &l.cache.Hits)
+	r.Counter("tag.misses", &l.cache.Misses)
+	r.Gauge("hit_pct", func() float64 { return 100 * l.cache.HitRate() })
+}
 
 // Access services one word access arriving at cycle now and returns its
 // completion cycle.

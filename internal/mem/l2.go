@@ -1,5 +1,7 @@
 package mem
 
+import "vlt/internal/stats"
+
 // L2Config parameterizes the shared second-level cache.
 type L2Config struct {
 	SizeBytes int // capacity (default 4 MB)
@@ -59,6 +61,17 @@ func (l *L2) Config() L2Config { return l.cfg }
 
 // Cache exposes the tag array (for statistics).
 func (l *L2) Cache() *Cache { return l.cache }
+
+// RegisterMetrics registers the shared cache's counters on r (scoped to
+// "l2" by the machine model).
+func (l *L2) RegisterMetrics(r *stats.Registry) {
+	r.Counter("reads", &l.Reads)
+	r.Counter("writes", &l.Writes)
+	r.Counter("bank_stalls", &l.BankStalls)
+	r.Counter("tag.hits", &l.cache.Hits)
+	r.Counter("tag.misses", &l.cache.Misses)
+	r.Gauge("hit_rate", l.cache.HitRate)
+}
 
 func (l *L2) bank(addr uint64) int {
 	w := addr / 8

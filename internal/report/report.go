@@ -74,6 +74,37 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
+// Metrics renders sorted (name, value) metric pairs as an aligned
+// two-column listing with a blank line between top-level name groups
+// (the segment before the first dot): the registry-driven replacement
+// for hand-written per-stat printf blocks in the tools.
+func Metrics(title string, pairs [][2]string) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	width := 0
+	for _, p := range pairs {
+		if len(p[0]) > width {
+			width = len(p[0])
+		}
+	}
+	prevGroup := ""
+	for i, p := range pairs {
+		group := p[0]
+		if dot := strings.IndexByte(group, '.'); dot >= 0 {
+			group = group[:dot]
+		}
+		if i > 0 && group != prevGroup {
+			sb.WriteByte('\n')
+		}
+		prevGroup = group
+		fmt.Fprintf(&sb, "%-*s  %s\n", width, p[0], p[1])
+	}
+	return sb.String()
+}
+
 // Bar renders a simple horizontal bar of the given relative width (value
 // in [0, max]) for quick-look terminal charts.
 func Bar(value, max float64, width int) string {

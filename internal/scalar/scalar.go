@@ -22,6 +22,7 @@ import (
 	"vlt/internal/isa"
 	"vlt/internal/mem"
 	"vlt/internal/pipe"
+	"vlt/internal/stats"
 	"vlt/internal/vm"
 )
 
@@ -178,6 +179,27 @@ func (u *Unit) DCache() *mem.L1 { return u.dcache }
 
 // Predictor exposes the branch predictor (statistics).
 func (u *Unit) Predictor() *pipe.Bimodal { return u.pred }
+
+// RegisterMetrics registers every pipeline counter on r (scoped to
+// "su<ID>" by the machine model). The counters remain the plain uint64
+// fields the pipeline stages already increment; the registry reads them
+// only at snapshot time, so the hot path is unchanged.
+func (u *Unit) RegisterMetrics(r *stats.Registry) {
+	r.Counter("fetch.instrs", &u.Fetched)
+	r.Counter("fetch.stall.branch", &u.FetchStallBranch)
+	r.Counter("fetch.stall.icache", &u.FetchStallICache)
+	r.Counter("dispatch.instrs", &u.Dispatched)
+	r.Counter("dispatch.stall.rob", &u.DispStallROB)
+	r.Counter("dispatch.stall.window", &u.DispStallWindow)
+	r.Counter("dispatch.stall.viq", &u.DispStallVIQ)
+	r.Counter("issue.instrs", &u.IssuedCount)
+	r.Counter("retire.instrs", &u.Retired)
+	r.Counter("bpred.lookups", &u.pred.Lookups)
+	r.Counter("bpred.mispredicts", &u.pred.Mispredicts)
+	r.Gauge("bpred.mispredict_pct", func() float64 { return 100 * u.pred.MispredictRate() })
+	u.icache.RegisterMetrics(r.Scope("l1i"))
+	u.dcache.RegisterMetrics(r.Scope("l1d"))
+}
 
 // AttachThread binds software thread tid to SMT context slot.
 func (u *Unit) AttachThread(slot, tid int) {

@@ -1,0 +1,356 @@
+// Package stats is the simulator's unified metric registry: every timing
+// and functional layer (scalar units, lane cores, the VCL, the memory
+// system, the functional VM and the machine model itself) registers its
+// counters here under hierarchical dot-separated names such as
+// "su0.fetch.stall.rob", "lane3.stall.mem_port" or "l2.bank_stalls".
+//
+// Design constraints, in order:
+//
+//  1. Zero hot-path cost. Counters stay plain uint64 fields on their
+//     owning component; the registry stores a *pointer* and reads it only
+//     when a snapshot is taken. Simulation loops never touch the registry
+//     (no atomics, no map lookups, no interface calls per event).
+//  2. Full-fidelity export. A Snapshot preserves integer counters exactly
+//     and derived ratios as float64, sorted by name, ready for JSON, a
+//     golden file, or a pretty-printer.
+//  3. Time series. A Sampler records selected metrics every N cycles,
+//     yielding the raw material for occupancy-over-time plots.
+//
+// A Registry is not safe for concurrent use; each simulated Machine owns
+// exactly one (machines are already single-goroutine by construction).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metric is one registered source. Exactly one field is non-nil.
+type metric struct {
+	counter *uint64        // plain counter, read at snapshot time
+	intFn   func() uint64  // derived integer (sums, int64 adapters)
+	gauge   func() float64 // derived ratio/percentage
+	hist    func() []int64 // histogram buckets, expanded per non-zero bucket
+}
+
+// Registry holds the metric name space. Scoped views created with Scope
+// share the same underlying table with a name prefix.
+type Registry struct {
+	prefix string
+	table  map[string]metric
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{table: make(map[string]metric)}
+}
+
+// Scope returns a view of the registry that prefixes every registered
+// name with name + ".". Scopes nest.
+func (r *Registry) Scope(name string) *Registry {
+	return &Registry{prefix: r.prefix + name + ".", table: r.table}
+}
+
+func (r *Registry) add(name string, m metric) {
+	full := r.prefix + name
+	if full == "" {
+		panic("stats: empty metric name")
+	}
+	if _, dup := r.table[full]; dup {
+		panic("stats: duplicate metric " + full)
+	}
+	r.table[full] = m
+}
+
+// Counter registers a plain uint64 counter by pointer. The owner keeps
+// incrementing the field directly; the registry reads it at snapshot
+// time, so the hot path is untouched.
+func (r *Registry) Counter(name string, src *uint64) {
+	if src == nil {
+		panic("stats: nil counter " + r.prefix + name)
+	}
+	r.add(name, metric{counter: src})
+}
+
+// CounterFn registers a derived integer metric (e.g. a sum across units,
+// or an int64 field adapted through a closure).
+func (r *Registry) CounterFn(name string, fn func() uint64) {
+	if fn == nil {
+		panic("stats: nil counter func " + r.prefix + name)
+	}
+	r.add(name, metric{intFn: fn})
+}
+
+// Gauge registers a derived float metric (rates, percentages, averages).
+func (r *Registry) Gauge(name string, fn func() float64) {
+	if fn == nil {
+		panic("stats: nil gauge func " + r.prefix + name)
+	}
+	r.add(name, metric{gauge: fn})
+}
+
+// Histogram registers a bucketed census. At snapshot time each non-zero
+// bucket i expands to one integer value named "name[i]" (index
+// zero-padded to two digits so lexical order is numeric order).
+func (r *Registry) Histogram(name string, fn func() []int64) {
+	if fn == nil {
+		panic("stats: nil histogram func " + r.prefix + name)
+	}
+	r.add(name, metric{hist: fn})
+}
+
+// Has reports whether a metric (or, for histograms, its base name) is
+// registered under the full name.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.table[name]
+	return ok
+}
+
+// Names returns every registered metric name (histograms by base name),
+// sorted.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.table))
+	for n := range r.table {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// read evaluates one registered metric as a float64 (histograms read as
+// their total count).
+func (r *Registry) read(m metric) float64 {
+	switch {
+	case m.counter != nil:
+		return float64(*m.counter)
+	case m.intFn != nil:
+		return float64(m.intFn())
+	case m.gauge != nil:
+		return m.gauge()
+	case m.hist != nil:
+		var total int64
+		for _, c := range m.hist() {
+			total += c
+		}
+		return float64(total)
+	}
+	return 0
+}
+
+// Float evaluates the named metric right now (0, false if unregistered).
+func (r *Registry) Float(name string) (float64, bool) {
+	m, ok := r.table[name]
+	if !ok {
+		return 0, false
+	}
+	return r.read(m), true
+}
+
+// Value is one exported metric sample. Integer sources keep exact
+// values in Int (IsInt true); derived gauges live in Float.
+type Value struct {
+	Name  string
+	IsInt bool
+	Int   uint64
+	Float float64
+}
+
+// AsFloat returns the value as a float64 regardless of kind.
+func (v Value) AsFloat() float64 {
+	if v.IsInt {
+		return float64(v.Int)
+	}
+	return v.Float
+}
+
+// FormatValue renders the value alone: integers in full, floats with
+// the shortest round-trip representation.
+func (v Value) FormatValue() string {
+	if v.IsInt {
+		return strconv.FormatUint(v.Int, 10)
+	}
+	return strconv.FormatFloat(v.Float, 'g', -1, 64)
+}
+
+func (v Value) String() string { return v.Name + " " + v.FormatValue() }
+
+// Snapshot is a point-in-time export of every registered metric, sorted
+// by name.
+type Snapshot []Value
+
+// Snapshot evaluates every metric. Histograms expand to one entry per
+// non-zero bucket.
+func (r *Registry) Snapshot() Snapshot {
+	out := make(Snapshot, 0, len(r.table))
+	for name, m := range r.table {
+		switch {
+		case m.counter != nil:
+			out = append(out, Value{Name: name, IsInt: true, Int: *m.counter})
+		case m.intFn != nil:
+			out = append(out, Value{Name: name, IsInt: true, Int: m.intFn()})
+		case m.gauge != nil:
+			out = append(out, Value{Name: name, Float: m.gauge()})
+		case m.hist != nil:
+			for i, c := range m.hist() {
+				if c <= 0 {
+					continue
+				}
+				out = append(out, Value{
+					Name:  fmt.Sprintf("%s[%02d]", name, i),
+					IsInt: true,
+					Int:   uint64(c),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get returns the named value from the snapshot.
+func (s Snapshot) Get(name string) (Value, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i].Name >= name })
+	if i < len(s) && s[i].Name == name {
+		return s[i], true
+	}
+	return Value{}, false
+}
+
+// Uint returns the named integer metric (0 if absent or a float).
+func (s Snapshot) Uint(name string) uint64 {
+	if v, ok := s.Get(name); ok && v.IsInt {
+		return v.Int
+	}
+	return 0
+}
+
+// Float returns the named metric as a float64 (0 if absent).
+func (s Snapshot) Float(name string) float64 {
+	if v, ok := s.Get(name); ok {
+		return v.AsFloat()
+	}
+	return 0
+}
+
+// Map returns the snapshot as a name→value map (integers converted to
+// float64; exact below 2^53, far beyond any simulated counter).
+func (s Snapshot) Map() map[string]float64 {
+	m := make(map[string]float64, len(s))
+	for _, v := range s {
+		m[v.Name] = v.AsFloat()
+	}
+	return m
+}
+
+// String renders the snapshot machine-readably: one "name value" line
+// per metric, sorted by name.
+func (s Snapshot) String() string {
+	var sb strings.Builder
+	for _, v := range s {
+		sb.WriteString(v.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Sampler records selected metrics every interval cycles: a cycle-indexed
+// time series for plots such as vector-datapath occupancy over time.
+// Counters sample cumulatively; DeltaRow converts to per-interval rates.
+type Sampler struct {
+	reg      *Registry
+	interval uint64
+	names    []string
+	metrics  []metric
+	next     uint64
+
+	cycles []uint64
+	rows   [][]float64
+}
+
+// NewSampler builds a sampler over the registry recording the named
+// metrics every interval cycles (interval < 1 is clamped to 1). Names not
+// registered are silently dropped, so one default sample set serves
+// machine configurations with and without a vector unit; the selection
+// actually in effect is reported by Names.
+func (r *Registry) NewSampler(interval uint64, names ...string) *Sampler {
+	if interval < 1 {
+		interval = 1
+	}
+	s := &Sampler{reg: r, interval: interval}
+	for _, n := range names {
+		if m, ok := r.table[n]; ok {
+			s.names = append(s.names, n)
+			s.metrics = append(s.metrics, m)
+		}
+	}
+	return s
+}
+
+// Names returns the metrics actually being sampled.
+func (s *Sampler) Names() []string { return s.names }
+
+// Interval returns the sampling interval in cycles.
+func (s *Sampler) Interval() uint64 { return s.interval }
+
+// Tick observes the cycle counter; on interval boundaries it records one
+// row. Call once per simulated cycle.
+func (s *Sampler) Tick(now uint64) {
+	if now < s.next || len(s.metrics) == 0 {
+		return
+	}
+	s.next = now + s.interval
+	row := make([]float64, len(s.metrics))
+	for i, m := range s.metrics {
+		row[i] = s.reg.read(m)
+	}
+	s.cycles = append(s.cycles, now)
+	s.rows = append(s.rows, row)
+}
+
+// Len returns the number of recorded samples.
+func (s *Sampler) Len() int { return len(s.rows) }
+
+// Row returns sample i: the cycle it was taken and the metric values
+// (cumulative, in Names order).
+func (s *Sampler) Row(i int) (cycle uint64, values []float64) {
+	return s.cycles[i], s.rows[i]
+}
+
+// DeltaRow returns sample i as per-interval increments (row i minus row
+// i-1; row 0 is returned as-is, its baseline being zero).
+func (s *Sampler) DeltaRow(i int) (cycle uint64, deltas []float64) {
+	cur := s.rows[i]
+	out := make([]float64, len(cur))
+	if i == 0 {
+		copy(out, cur)
+		return s.cycles[i], out
+	}
+	prev := s.rows[i-1]
+	for j := range cur {
+		out[j] = cur[j] - prev[j]
+	}
+	return s.cycles[i], out
+}
+
+// CSV renders the series as comma-separated text with a header row
+// ("cycle,metric,..."), cumulative values.
+func (s *Sampler) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("cycle")
+	for _, n := range s.names {
+		sb.WriteByte(',')
+		sb.WriteString(n)
+	}
+	sb.WriteByte('\n')
+	for i := range s.rows {
+		sb.WriteString(strconv.FormatUint(s.cycles[i], 10))
+		for _, v := range s.rows[i] {
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

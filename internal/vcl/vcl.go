@@ -17,6 +17,7 @@ import (
 	"vlt/internal/isa"
 	"vlt/internal/mem"
 	"vlt/internal/pipe"
+	"vlt/internal/stats"
 )
 
 // NumVFUs is the number of arithmetic datapaths per lane.
@@ -122,6 +123,30 @@ func New(cfg Config, l2 *mem.L2, totalLanes int) *VCL {
 		panic(err)
 	}
 	return v
+}
+
+// RegisterMetrics registers the vector unit's counters on r (scoped to
+// "vcl" by the machine model): the Figure-4 datapath census, the issue
+// counters and back-pressure, plus derived occupancy gauges suited to
+// the time-series sampler.
+func (v *VCL) RegisterMetrics(r *stats.Registry) {
+	r.Counter("util.busy", &v.Util.Busy)
+	r.Counter("util.part_idle", &v.Util.PartIdle)
+	r.Counter("util.stalled", &v.Util.Stalled)
+	r.Counter("util.all_idle", &v.Util.AllIdle)
+	r.Gauge("util.busy_pct", func() float64 {
+		total := v.Util.Total()
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(v.Util.Busy) / float64(total)
+	})
+	r.Counter("issued", &v.VecIssued)
+	r.Counter("elem_ops", &v.VecElemOps)
+	r.Counter("viq_rejects", &v.VIQRejects)
+	r.CounterFn("lanes", func() uint64 { return uint64(v.totalLanes) })
+	r.CounterFn("partitions", func() uint64 { return uint64(len(v.parts)) })
+	r.CounterFn("in_flight", func() uint64 { return uint64(v.InFlight()) })
 }
 
 // Lanes returns the total lane count.

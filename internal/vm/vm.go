@@ -19,6 +19,7 @@ import (
 
 	"vlt/internal/asm"
 	"vlt/internal/isa"
+	"vlt/internal/stats"
 )
 
 // Thread is the architectural state of one hardware thread context.
@@ -77,6 +78,18 @@ type OpStats struct {
 	VecElemOps   int64
 	VLHist       [isa.MaxVL + 1]int64
 	RegionOps    map[int64]int64
+}
+
+// RegisterMetrics registers the operation census on r (scoped to
+// "vm.ops" by the machine model): raw counts, the Table-4 derived
+// ratios, and the vector-length histogram (one entry per non-zero VL).
+func (s *OpStats) RegisterMetrics(r *stats.Registry) {
+	r.CounterFn("scalar_instrs", func() uint64 { return uint64(s.ScalarInstrs) })
+	r.CounterFn("vec_instrs", func() uint64 { return uint64(s.VecInstrs) })
+	r.CounterFn("vec_elem_ops", func() uint64 { return uint64(s.VecElemOps) })
+	r.Gauge("pct_vect", s.PercentVect)
+	r.Gauge("avg_vl", s.AvgVL)
+	r.Histogram("vl_hist", func() []int64 { return s.VLHist[:] })
 }
 
 // PercentVect returns the percentage of all operations that are vector

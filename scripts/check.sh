@@ -4,6 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: these files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -12,5 +20,8 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== golden metrics (testdata/metrics_base_mxm.golden)"
+go test -run TestGoldenMetrics .
 
 echo "check.sh: all gates passed"

@@ -21,6 +21,9 @@ package vlt
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 
 	"vlt/internal/core"
 	"vlt/internal/vcl"
@@ -110,6 +113,59 @@ type Utilization struct {
 	AllIdlePct  float64
 }
 
+// Metric is one named measurement from the run's unified metric
+// registry. Names are hierarchical and dot-separated (su0.fetch.instrs,
+// vcl.util.busy, l2.bank_stalls); counters are exact in a float64 (they
+// stay far below 2^53).
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// FormatValue renders the value: integral values in full decimal,
+// everything else in shortest round-trip form.
+func (m Metric) FormatValue() string {
+	if m.Value == math.Trunc(m.Value) && math.Abs(m.Value) < 1e15 {
+		return strconv.FormatFloat(m.Value, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(m.Value, 'g', -1, 64)
+}
+
+// Metrics is the full machine-readable export of a run, sorted by name.
+type Metrics []Metric
+
+// Map returns the metrics as a name→value map.
+func (ms Metrics) Map() map[string]float64 {
+	out := make(map[string]float64, len(ms))
+	for _, m := range ms {
+		out[m.Name] = m.Value
+	}
+	return out
+}
+
+// Get returns the named metric's value (0, false when absent).
+func (ms Metrics) Get(name string) (float64, bool) {
+	for _, m := range ms {
+		if m.Name == name {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// String renders one "name value" line per metric — the format of
+// `vltexp -metrics` and the golden-metrics regression file.
+func (ms Metrics) String() string {
+	var sb strings.Builder
+	for _, m := range ms {
+		sb.WriteString(m.Name)
+		sb.WriteByte(' ')
+		sb.WriteString(m.FormatValue())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
 // Result reports one simulation run.
 type Result struct {
 	Workload string
@@ -133,6 +189,11 @@ type Result struct {
 	AvgVL          float64
 	CommonVLs      []int
 	OpportunityPct float64
+
+	// Metrics is the run's full registry snapshot: every counter and
+	// derived gauge from every layer, sorted by name. It is a superset
+	// of the typed fields above.
+	Metrics Metrics
 
 	Verified bool
 }
