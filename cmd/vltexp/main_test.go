@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunStaticTable(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-tab", "1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "Table 1") {
+		t.Errorf("-tab 1 output missing header:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "2"},             // the paper has no figure 2
+		{"-tab", "9"},             // tables are 1-4
+		{"-jobs", "-3"},           // negative worker count
+		{"-audit", "sometimes"},   // not auto/on/off
+		{"-tab", "1", "leftover"}, // positional args are not accepted
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("%v: exit %d, want 2\nstderr: %s", args, code, errOut.String())
+		}
+		if errOut.Len() == 0 {
+			t.Errorf("%v: no usage diagnostic on stderr", args)
+		}
+	}
+}
+
+func TestRunGuardStallDiagnostic(t *testing.T) {
+	var out, errOut strings.Builder
+	// A 2-cycle stall limit trips in every cell's cold start, so the
+	// first simulated cell aborts the whole run with a clean diagnostic.
+	code := run([]string{"-tab", "4", "-stall-limit", "2", "-jobs", "1"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	got := errOut.String()
+	for _, want := range []string{"vltexp: simulation aborted", "guard:", "machine state at failure"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "goroutine") {
+		t.Errorf("diagnostic leaks a raw stack trace:\n%s", got)
+	}
+}
+
+func TestRunMetricsIncludesGuardScope(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-metrics", "mxm", "-machine", "base", "-audit", "on"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"guard.audit.enabled 1", "guard.audit.checks", "guard.stall.limit"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("-metrics output missing %q", want)
+		}
+	}
+}

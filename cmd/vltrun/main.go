@@ -28,11 +28,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"strings"
 
 	"vlt/internal/asm"
 	"vlt/internal/core"
+	"vlt/internal/guard"
 	"vlt/internal/report"
+	"vlt/internal/runner"
 	"vlt/internal/scalar"
 )
 
@@ -41,8 +44,16 @@ func main() {
 }
 
 // run is the testable entry point: it parses args, simulates, writes to
-// stdout/stderr and returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// stdout/stderr and returns the process exit code. A panic anywhere
+// below renders as a diagnostic instead of crashing the process.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltrun",
+				&runner.PanicError{Key: "vltrun", Value: r, Stack: debug.Stack()}))
+			code = 1
+		}
+	}()
 	fs := flag.NewFlagSet("vltrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	machine := fs.String("machine", "base", "machine: base, V2-CMP, V4-CMT, CMT, VLT-scalar, ...")
@@ -56,7 +67,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	stats := fs.Bool("stats", false, "print every registry metric after the run")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON (cycles plus the full metric map)")
 	sample := fs.Uint64("sample", 0, "record the metric time series every N cycles and print it as CSV")
+	stallLimit := fs.Uint64("stall-limit", 0, "abort when no instruction retires for N cycles (0 = default)")
+	auditFlag := fs.String("audit", "auto", "invariant auditor: auto, on, off")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	audit, err := guard.ParseAuditMode(*auditFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "vltrun:", err)
 		return 2
 	}
 
@@ -87,6 +105,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	cfg.SampleEvery = *sample
+	cfg.StallLimit = *stallLimit
+	cfg.Audit = audit
 	m, err := core.NewMachine(cfg, prog)
 	if err != nil {
 		fmt.Fprintln(stderr, "vltrun:", err)
@@ -117,7 +137,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chromeFile.Close()
 	}
 	if err != nil {
-		fmt.Fprintln(stderr, "vltrun:", err)
+		fmt.Fprint(stderr, report.Diagnose("vltrun", err))
 		return 1
 	}
 
@@ -187,7 +207,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stdout, "%s @%#x:", sym, addr)
 			for i := 0; i < n; i++ {
-				fmt.Fprintf(stdout, " %d", m.VM().Mem.MustRead(addr+uint64(i)*8))
+				v, rerr := m.VM().Mem.ReadWord(addr + uint64(i)*8)
+				if rerr != nil {
+					fmt.Fprintf(stdout, " <%v>", rerr)
+					break
+				}
+				fmt.Fprintf(stdout, " %d", v)
 			}
 			fmt.Fprintln(stdout)
 		}

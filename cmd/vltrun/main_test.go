@@ -116,3 +116,50 @@ func TestRunBadArgs(t *testing.T) {
 		t.Errorf("stderr missing diagnostic: %s", errOut.String())
 	}
 }
+
+func TestRunGuardStallDiagnostic(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-stall-limit", "2", writeProg(t)}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	got := errOut.String()
+	for _, want := range []string{"vltrun: simulation aborted", "guard:", "machine state at failure"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "goroutine") {
+		t.Errorf("diagnostic leaks a raw stack trace:\n%s", got)
+	}
+}
+
+func TestRunGuestFaultDiagnostic(t *testing.T) {
+	// A misaligned scalar load faults at runtime; the diagnostic must
+	// name the faulting PC and cycle instead of panicking.
+	path := filepath.Join(t.TempDir(), "fault.vasm")
+	src := "movi r1, 3\nld r2, 0(r1)\nhalt\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	got := errOut.String()
+	for _, want := range []string{"guest program fault", "pc 1", "cycle"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fault diagnostic missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "goroutine") {
+		t.Errorf("fault diagnostic leaks a raw stack trace:\n%s", got)
+	}
+}
+
+func TestRunBadAuditFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-audit", "sometimes", writeProg(t)}, &out, &errOut); code != 2 {
+		t.Errorf("bad -audit value: exit %d, want 2", code)
+	}
+}

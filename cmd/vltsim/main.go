@@ -11,10 +11,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 	"strings"
 
 	"vlt"
+	"vlt/internal/guard"
 	"vlt/internal/report"
+	"vlt/internal/runner"
 )
 
 func main() {
@@ -22,8 +25,16 @@ func main() {
 }
 
 // run is the testable entry point: it parses args, simulates, writes to
-// stdout/stderr and returns the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+// stdout/stderr and returns the process exit code. A panic anywhere
+// below renders as a diagnostic instead of crashing the process.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltsim",
+				&runner.PanicError{Key: "vltsim", Value: r, Stack: debug.Stack()}))
+			code = 1
+		}
+	}()
 	fs := flag.NewFlagSet("vltsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workload := fs.String("workload", "", "workload name (see -list)")
@@ -34,7 +45,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list workloads and machines")
 	noVerify := fs.Bool("no-verify", false, "skip result verification")
 	verbose := fs.Bool("v", false, "print the full metric registry")
+	stallLimit := fs.Uint64("stall-limit", 0, "abort when no instruction retires for N cycles (0 = default)")
+	auditFlag := fs.String("audit", "auto", "invariant auditor: auto, on, off")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	audit, err := guard.ParseAuditMode(*auditFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "vltsim:", err)
 		return 2
 	}
 
@@ -54,9 +72,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	res, err := vlt.Run(*workload, vlt.Machine(*machine), vlt.Options{
 		Scale: *scale, Lanes: *lanes, Threads: *threads, SkipVerify: *noVerify,
+		StallLimit: *stallLimit, Audit: audit,
 	})
 	if err != nil {
-		fmt.Fprintln(stderr, "vltsim:", err)
+		fmt.Fprint(stderr, report.Diagnose("vltsim", err))
 		return 1
 	}
 

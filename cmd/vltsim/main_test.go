@@ -63,3 +63,52 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown workload produced no diagnostic")
 	}
 }
+
+func TestRunGuardStallDiagnostic(t *testing.T) {
+	var out, errOut strings.Builder
+	// A 2-cycle stall limit trips during the cold-start cache fill, so
+	// the run must abort with a clean diagnostic, not a stack trace.
+	code := run([]string{"-workload", "mxm", "-machine", "base", "-stall-limit", "2"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	got := errOut.String()
+	for _, want := range []string{"vltsim: simulation aborted", "guard:", "machine state at failure", "thread 0"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "goroutine") {
+		t.Errorf("diagnostic leaks a raw stack trace:\n%s", got)
+	}
+}
+
+func TestRunBadAuditFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-workload", "mxm", "-audit", "sometimes"}, &out, &errOut); code != 2 {
+		t.Errorf("bad -audit value: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "audit") {
+		t.Errorf("stderr missing audit diagnostic: %s", errOut.String())
+	}
+}
+
+func TestRunAuditOnMatchesOff(t *testing.T) {
+	cycles := func(audit string) string {
+		t.Helper()
+		var out, errOut strings.Builder
+		if code := run([]string{"-workload", "mxm", "-machine", "base", "-audit", audit}, &out, &errOut); code != 0 {
+			t.Fatalf("-audit %s: exit %d, stderr: %s", audit, code, errOut.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.Contains(line, "cycles:") {
+				return line
+			}
+		}
+		t.Fatalf("-audit %s: no cycles line:\n%s", audit, out.String())
+		return ""
+	}
+	if on, off := cycles("on"), cycles("off"); on != off {
+		t.Errorf("auditor perturbed timing: %q (on) != %q (off)", on, off)
+	}
+}

@@ -35,11 +35,15 @@ import (
 type Engine struct {
 	pool *runner.Pool[string, cell] // nil in serial mode
 
-	// serial-mode state (pool == nil)
 	mu       sync.Mutex
-	done     int
+	done     int // serial-mode progress (pool == nil)
 	total    int
 	progress func(done, total int)
+
+	// engine-wide guard defaults, applied to every submitted cell that
+	// does not set its own (see SetGuard).
+	guardStall uint64
+	guardAudit AuditMode
 }
 
 // cell is the memoized unit of work: one simulation's full result.
@@ -91,6 +95,33 @@ func (e *Engine) Stats() runner.Stats {
 	return runner.Stats{Submitted: e.total, Unique: e.total}
 }
 
+// SetGuard installs engine-wide robustness defaults: every subsequently
+// submitted cell runs with the given forward-progress stall limit and
+// audit mode unless its own Options set them. The experiment tools use
+// this to apply their -stall-limit/-audit flags to every simulation a
+// driver schedules.
+func (e *Engine) SetGuard(stallLimit uint64, audit AuditMode) {
+	e.mu.Lock()
+	e.guardStall = stallLimit
+	e.guardAudit = audit
+	e.mu.Unlock()
+}
+
+// applyGuard fills a cell's unset guard options from the engine-wide
+// defaults. It runs before fingerprinting, so guarded and unguarded
+// variants of a cell never share a cache entry.
+func (e *Engine) applyGuard(opt Options) Options {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if opt.StallLimit == 0 {
+		opt.StallLimit = e.guardStall
+	}
+	if opt.Audit == AuditAuto {
+		opt.Audit = e.guardAudit
+	}
+	return opt
+}
+
 // fingerprint content-addresses one simulation cell: the workload, the
 // fully resolved machine configuration (so aliases like Lanes:0 and
 // Lanes:8 on the base machine coincide), and every build/verify option
@@ -124,21 +155,28 @@ type cellFuture struct {
 // the cached task; in serial mode execution is deferred to wait so cells
 // run inline in collection order, exactly like the legacy loops.
 func (e *Engine) submit(workload string, m Machine, opt Options) *cellFuture {
+	opt = e.applyGuard(opt)
+	// A panic anywhere in a cell's simulation (machine model bug,
+	// workload Verify blowing up) fails only that cell, as a
+	// *runner.PanicError naming it; sibling cells and the pool survive.
+	simulate := func() (cell, error) {
+		return runner.Guard(workload+"/"+string(m), func() (cell, error) {
+			res, raw, err := simulateCell(workload, m, opt)
+			return cell{res: res, raw: raw}, err
+		})
+	}
 	if e.pool != nil {
 		key, err := fingerprint(workload, m, opt)
 		if err != nil {
 			return &cellFuture{err: err}
 		}
-		return &cellFuture{task: e.pool.Submit(key, func() (cell, error) {
-			res, raw, err := runCell(workload, m, opt)
-			return cell{res: res, raw: raw}, err
-		})}
+		return &cellFuture{task: e.pool.Submit(key, simulate)}
 	}
 	e.mu.Lock()
 	e.total++
 	e.mu.Unlock()
 	return &cellFuture{run: func() (cell, error) {
-		res, raw, err := runCell(workload, m, opt)
+		c, err := simulate()
 		e.mu.Lock()
 		e.done++
 		cb, done, total := e.progress, e.done, e.total
@@ -146,7 +184,7 @@ func (e *Engine) submit(workload string, m Machine, opt Options) *cellFuture {
 		if cb != nil {
 			cb(done, total)
 		}
-		return cell{res: res, raw: raw}, err
+		return c, err
 	}}
 }
 
@@ -164,6 +202,10 @@ func (f *cellFuture) wait() (Result, UtilizationCounts, error) {
 	}
 	return c.res, c.raw, err
 }
+
+// simulateCell is the engine's simulation entry point, indirect so the
+// cell-isolation test can substitute a panicking implementation.
+var simulateCell = runCell
 
 // runCell simulates one cell on a private Machine and returns the public
 // result plus the raw Figure-4 utilization census. It is the single

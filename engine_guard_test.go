@@ -1,0 +1,60 @@
+package vlt
+
+import (
+	"errors"
+	"testing"
+
+	"vlt/internal/guard"
+	"vlt/internal/runner"
+)
+
+// TestEngineIsolatesPanickingCell: a panic inside one cell's simulation
+// fails only that cell, with a typed error naming it; sibling cells and
+// the engine survive.
+func TestEngineIsolatesPanickingCell(t *testing.T) {
+	orig := simulateCell
+	defer func() { simulateCell = orig }()
+	simulateCell = func(workload string, m Machine, opt Options) (Result, UtilizationCounts, error) {
+		if workload == "poison" {
+			panic("injected cell panic")
+		}
+		return orig(workload, m, opt)
+	}
+
+	for _, jobs := range []int{1, 2} { // serial and parallel paths
+		eng := NewEngine(jobs)
+		bad := eng.submit("poison", MachineBase, Options{})
+		good := eng.submit("mxm", MachineBase, Options{SkipVerify: true})
+
+		_, _, err := bad.wait()
+		var pe *runner.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("jobs=%d: want *runner.PanicError, got %T: %v", jobs, err, err)
+		}
+		if pe.Key != "poison/base" {
+			t.Errorf("jobs=%d: panic names cell %q, want poison/base", jobs, pe.Key)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("jobs=%d: panic carries no stack", jobs)
+		}
+		res, _, err := good.wait()
+		if err != nil || res.Cycles == 0 {
+			t.Errorf("jobs=%d: sibling cell broken by panic: %v (cycles %d)", jobs, err, res.Cycles)
+		}
+	}
+}
+
+// TestEngineSetGuardAppliesToCells: SetGuard's stall limit reaches every
+// cell the engine simulates.
+func TestEngineSetGuardAppliesToCells(t *testing.T) {
+	eng := NewEngine(1)
+	eng.SetGuard(2, AuditOff) // 2 cycles without retirement: trips in the cold start
+	_, _, err := eng.submit("mxm", MachineBase, Options{SkipVerify: true}).wait()
+	var stall *guard.StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("want *guard.StallError, got %T: %v", err, err)
+	}
+	if stall.Limit != 2 {
+		t.Errorf("stall limit %d reached the cell, want 2", stall.Limit)
+	}
+}

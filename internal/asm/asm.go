@@ -47,12 +47,33 @@ type Program struct {
 	dataEnd  uint64
 }
 
-// Symbol returns the byte address of a named allocation, panicking if the
-// name is unknown (a programming error in the workload).
-func (p *Program) Symbol(name string) uint64 {
+// UnknownSymbolError reports a lookup of a data symbol the program never
+// allocated.
+type UnknownSymbolError struct {
+	Symbol  string
+	Program string
+}
+
+func (e *UnknownSymbolError) Error() string {
+	return fmt.Sprintf("asm: unknown symbol %q in program %q", e.Symbol, e.Program)
+}
+
+// Lookup returns the byte address of a named allocation.
+func (p *Program) Lookup(name string) (uint64, error) {
 	addr, ok := p.Symbols[name]
 	if !ok {
-		panic(fmt.Sprintf("asm: unknown symbol %q in program %q", name, p.Name))
+		return 0, &UnknownSymbolError{Symbol: name, Program: p.Name}
+	}
+	return addr, nil
+}
+
+// Symbol returns the byte address of a named allocation, panicking with
+// an *UnknownSymbolError if the name is unknown (a programming error in
+// the workload; callers that handle user input use Lookup).
+func (p *Program) Symbol(name string) uint64 {
+	addr, err := p.Lookup(name)
+	if err != nil {
+		panic(err)
 	}
 	return addr
 }

@@ -1,0 +1,32 @@
+package asm_test
+
+import (
+	"testing"
+
+	"vlt/internal/asm"
+	"vlt/internal/workloads"
+)
+
+// FuzzAssemble proves the text assembler never panics: any input either
+// parses into a program or returns an error. The corpus seeds are the
+// nine workload kernels' own disassembly — real programs exercising
+// every directive and instruction form the workloads use.
+func FuzzAssemble(f *testing.F) {
+	for _, w := range workloads.All() {
+		prog := w.Build(workloads.Params{Threads: 2, Scale: 1})
+		f.Add(prog.Disassemble())
+	}
+	f.Add(".data tbl 1 2 3\n.alloc out 1\nmovi r1, 8\nhalt\n")
+	f.Add(".data\n")
+	f.Add("loop: j loop")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := asm.ParseText("fuzz.vasm", src)
+		if err != nil {
+			return
+		}
+		// A program that parses must also survive the binary round trip.
+		if _, err := asm.LoadImage(prog.SaveImage()); err != nil {
+			t.Fatalf("SaveImage output rejected by LoadImage: %v", err)
+		}
+	})
+}

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 
+	"vlt/internal/guard"
 	"vlt/internal/lane"
 	"vlt/internal/mem"
 	"vlt/internal/scalar"
@@ -44,6 +45,29 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations (0 = default guard).
 	MaxCycles uint64
+
+	// StallLimit aborts the run with a *guard.StallError (carrying a full
+	// diagnostic dump) when no instruction retires anywhere in the
+	// machine for this many consecutive cycles — a livelock or deadlock
+	// in the timing model (0 = guard.DefaultStallLimit).
+	StallLimit uint64
+
+	// Audit enables the runtime invariant auditor, which cross-checks the
+	// components' internal accounting (scoreboard occupancy, cache
+	// counters, stage-counter monotonicity) every AuditEvery cycles and
+	// aborts with a *guard.InvariantError on a violation. The zero value
+	// AuditAuto turns it on under `go test` and off otherwise; the
+	// VLT_AUDIT environment variable (on/off) overrides.
+	Audit guard.AuditMode
+
+	// AuditEvery is the cycle interval between audits
+	// (0 = guard.DefaultAuditEvery).
+	AuditEvery uint64
+
+	// Inject arms the fault-injection hook: at Inject.Cycle the
+	// configured fault fires once. Used by tests to prove the watchdog
+	// and auditor detect the failures they claim to.
+	Inject guard.Injection
 
 	// SampleEvery, when non-zero, enables the metric registry's
 	// time-series sampler: the metrics named in SampleMetrics (or

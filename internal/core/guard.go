@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vlt/internal/guard"
+	"vlt/internal/stats"
+)
+
+// This file wires the guard package into the machine: the
+// forward-progress watchdog, the runtime invariant auditor, the retired-
+// instruction ring buffer and the fault-injection hook, plus the
+// diagnostic dump every typed guard error carries.
+
+// retiredTotal sums instructions retired across every pipeline.
+func (m *Machine) retiredTotal() uint64 {
+	var n uint64
+	for _, su := range m.sus {
+		n += su.Retired
+	}
+	for _, c := range m.lcs {
+		n += c.Retired
+	}
+	return n
+}
+
+// initGuard builds the watchdog, the retired-instruction ring and — when
+// auditing is enabled — the auditor with every cross-layer invariant
+// registered. Called after the components exist, before registerMetrics.
+func (m *Machine) initGuard() {
+	m.watchdog = guard.NewWatchdog(m.cfg.StallLimit)
+	m.ring = guard.NewRing(16)
+	if !m.cfg.Audit.Enabled() {
+		return
+	}
+	a := guard.NewAuditor(m.cfg.AuditEvery)
+	for i, su := range m.sus {
+		a.Register(fmt.Sprintf("su%d.pipeline", i), su.CheckInvariants)
+		a.Register(fmt.Sprintf("su%d.cache-counters", i), su.CheckCacheCounters)
+	}
+	for i, c := range m.lcs {
+		a.Register(fmt.Sprintf("lane%d.pipeline", i), c.CheckInvariants)
+	}
+	if m.vu != nil {
+		a.Register("vcl.scoreboard", m.vu.CheckScoreboard)
+		a.Register("vcl.occupancy", m.vu.CheckOccupancy)
+	}
+	a.Register("l2.cache-counters", m.l2.CheckInvariants)
+	var lastRet uint64
+	a.Register("machine.retired-monotone", func() error {
+		n := m.retiredTotal()
+		if n < lastRet {
+			return fmt.Errorf("retired total went backwards: %d after %d", n, lastRet)
+		}
+		lastRet = n
+		return nil
+	})
+	a.Register("machine.region-cycles", func() error {
+		var sum uint64
+		for _, cyc := range m.regionCycles {
+			sum += cyc
+		}
+		if sum != m.now+1 {
+			return fmt.Errorf("region cycle sum %d != elapsed cycles %d", sum, m.now+1)
+		}
+		return nil
+	})
+	m.auditor = a
+}
+
+// registerGuardMetrics exposes the guard state on the registry (scope
+// "guard") so -json exports show whether a run was self-checked and how
+// many audit sweeps it passed.
+func (m *Machine) registerGuardMetrics(r *stats.Registry) {
+	r.CounterFn("audit.enabled", func() uint64 {
+		if m.auditor != nil {
+			return 1
+		}
+		return 0
+	})
+	r.CounterFn("audit.passes", func() uint64 {
+		if m.auditor != nil {
+			return m.auditor.Passes
+		}
+		return 0
+	})
+	r.CounterFn("audit.checks", func() uint64 {
+		if m.auditor != nil {
+			return m.auditor.Checks
+		}
+		return 0
+	})
+	r.CounterFn("stall.limit", func() uint64 { return m.watchdog.Limit() })
+}
+
+// applyInjection fires the configured fault once its cycle arrives.
+// Timing faults (stall, drop-completion) are applied before the
+// components tick so they shape this cycle's execution; state
+// corruptions are applied after, immediately before the audit, so the
+// auditor must catch them on the very sweep they land.
+func (m *Machine) applyInjection(now uint64, preTick bool) {
+	inj := m.cfg.Inject
+	if inj.Kind == guard.InjectNone || m.injected || now < inj.Cycle {
+		return
+	}
+	switch inj.Kind {
+	case guard.InjectStall, guard.InjectDropCompletion:
+		if !preTick {
+			return
+		}
+	default:
+		if preTick {
+			return
+		}
+	}
+	m.injected = true
+	switch inj.Kind {
+	case guard.InjectStall:
+		m.frozen = true
+	case guard.InjectDropCompletion:
+		if len(m.sus) > 0 {
+			m.sus[0].InjectDropCompletion()
+		}
+	case guard.InjectCorruptScoreboard:
+		if m.vu != nil {
+			m.vu.InjectCorruptScoreboard()
+		}
+	case guard.InjectCorruptOccupancy:
+		if m.vu != nil {
+			m.vu.InjectCorruptOccupancy()
+		}
+	case guard.InjectCorruptCache:
+		if len(m.sus) > 0 {
+			m.sus[0].DCache().Cache().Hits++
+		}
+	case guard.InjectCorruptRetired:
+		// Halve the counter (rather than decrement it) so the next
+		// audit's monotonicity check sees a regression no matter how many
+		// instructions retire in the injection cycle itself.
+		if len(m.sus) > 0 {
+			m.sus[0].Retired /= 2
+		}
+	}
+}
+
+// stallError assembles the typed forward-progress failure with the full
+// diagnostic dump.
+func (m *Machine) stallError(kind string, now, limit uint64) *guard.StallError {
+	return &guard.StallError{
+		Config: m.cfg.Name,
+		Kind:   kind,
+		Cycle:  now,
+		Limit:  limit,
+		Dump:   m.dump(now),
+	}
+}
+
+// dump renders the whole machine's occupancy at cycle now: per-thread
+// architectural state, every pipeline's queues and head-of-ROB, the
+// vector control logic's scoreboard and the last retired instructions.
+func (m *Machine) dump(now uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "machine %s at cycle %d: %d instructions retired\n",
+		m.cfg.Name, now, m.retiredTotal())
+	for t := 0; t < m.cfg.NumThreads; t++ {
+		th := m.vm.Thread(t)
+		state := "running"
+		if th.Halted {
+			state = "halted"
+		}
+		fmt.Fprintf(&sb, "thread %d: pc=%d %s\n", t, th.PC, state)
+	}
+	for _, su := range m.sus {
+		sb.WriteString(su.DebugDump(now))
+	}
+	if m.vu != nil {
+		sb.WriteString(m.vu.DebugDump(now))
+	}
+	for _, c := range m.lcs {
+		sb.WriteString(c.DebugDump(now))
+	}
+	fmt.Fprintf(&sb, "l2: reads=%d writes=%d bank-stalls=%d\n",
+		m.l2.Reads, m.l2.Writes, m.l2.BankStalls)
+	fmt.Fprintf(&sb, "last %d retired instructions:\n%s", m.ring.Len(), m.ring)
+	return sb.String()
+}

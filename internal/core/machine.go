@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"vlt/internal/asm"
+	"vlt/internal/guard"
 	"vlt/internal/isa"
 	"vlt/internal/lane"
 	"vlt/internal/mem"
@@ -119,6 +120,12 @@ type Machine struct {
 	reg          *stats.Registry
 	sampler      *stats.Sampler
 	regionCycles map[int64]uint64
+
+	watchdog *guard.Watchdog
+	auditor  *guard.Auditor // nil when auditing is off
+	ring     *guard.Ring    // last retired instructions, for diagnostic dumps
+	frozen   bool           // stall injection fired: component clocks stop
+	injected bool           // the configured fault has been applied
 }
 
 // SetTrace directs a retirement trace to w: one line per retired
@@ -172,6 +179,7 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 			m.lcs = append(m.lcs, c)
 			m.locs[t] = location{onLane: true, unit: t}
 		}
+		m.initGuard()
 		m.registerMetrics()
 		return m, nil
 	}
@@ -191,6 +199,7 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 			next++
 		}
 	}
+	m.initGuard()
 	m.registerMetrics()
 	return m, nil
 }
@@ -221,28 +230,12 @@ func (m *Machine) registerMetrics() {
 	mr := m.reg.Scope("machine")
 	mr.CounterFn("cycles", func() uint64 { return m.now })
 	mr.CounterFn("threads", func() uint64 { return uint64(m.cfg.NumThreads) })
-	mr.CounterFn("retired", func() uint64 {
-		var n uint64
-		for _, su := range m.sus {
-			n += su.Retired
-		}
-		for _, c := range m.lcs {
-			n += c.Retired
-		}
-		return n
-	})
+	mr.CounterFn("retired", m.retiredTotal)
 	mr.Gauge("ipc", func() float64 {
 		if m.now == 0 {
 			return 0
 		}
-		var n uint64
-		for _, su := range m.sus {
-			n += su.Retired
-		}
-		for _, c := range m.lcs {
-			n += c.Retired
-		}
-		return float64(n) / float64(m.now)
+		return float64(m.retiredTotal()) / float64(m.now)
 	})
 	mr.Gauge("opportunity_pct", func() float64 {
 		if m.now == 0 {
@@ -267,6 +260,7 @@ func (m *Machine) registerMetrics() {
 	}
 	m.l2.RegisterMetrics(m.reg.Scope("l2"))
 	m.vm.Stats.RegisterMetrics(m.reg.Scope("vm.ops"))
+	m.registerGuardMetrics(m.reg.Scope("guard"))
 
 	if m.cfg.SampleEvery > 0 {
 		names := m.cfg.SampleMetrics
@@ -291,6 +285,7 @@ func (m *Machine) VM() *vm.VM { return m.vm }
 func (m *Machine) L2() *mem.L2 { return m.l2 }
 
 func (m *Machine) onRetire(tid int, u *pipe.Uop) {
+	m.ring.Push(m.now, tid, u.Dyn.PC, u.Dyn.Inst)
 	if u.Dyn.Inst.Op == isa.OpMark {
 		m.region[tid] = u.Dyn.MarkID
 	}
@@ -416,22 +411,36 @@ func (m *Machine) Run() (Result, error) {
 	for ; !m.done(); now++ {
 		m.now = now
 		if now >= m.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("core: %s exceeded %d cycles", m.cfg.Name, m.cfg.MaxCycles)
+			return Result{}, m.stallError("max-cycles", now, m.cfg.MaxCycles)
 		}
-		if m.vu != nil {
-			m.vu.Tick(now)
+		if m.watchdog.Observe(now, m.retiredTotal()) {
+			return Result{}, m.stallError("livelock", now, m.watchdog.Limit())
 		}
-		for _, su := range m.sus {
-			su.Tick(now)
-		}
-		for _, c := range m.lcs {
-			c.Tick(now)
+		m.applyInjection(now, true)
+		if !m.frozen {
+			if m.vu != nil {
+				m.vu.Tick(now)
+			}
+			for _, su := range m.sus {
+				su.Tick(now)
+			}
+			for _, c := range m.lcs {
+				c.Tick(now)
+			}
 		}
 		if err := m.err(); err != nil {
-			return Result{}, err
+			return Result{}, fmt.Errorf("core: %s: cycle %d: %w", m.cfg.Name, now, err)
 		}
 		m.coordinate(now)
 		m.regionCycles[m.region[0]]++
+		m.applyInjection(now, false)
+		if m.auditor != nil {
+			if aerr := m.auditor.Check(now); aerr != nil {
+				aerr.Config = m.cfg.Name
+				aerr.Dump = m.dump(now)
+				return Result{}, aerr
+			}
+		}
 		if m.sampler != nil {
 			m.sampler.Tick(now)
 		}

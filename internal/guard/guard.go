@@ -1,0 +1,317 @@
+// Package guard hardens the simulation core: a forward-progress watchdog
+// that turns livelock and deadlock into typed, diagnosable errors, a
+// runtime invariant auditor that cross-checks the timing models' internal
+// accounting while they run, and a fault-injection hook that lets tests
+// prove both actually fire.
+//
+// The paper's proprietary X1 simulator was validated against real
+// hardware; this rebuild has no such oracle, so the guard machinery is the
+// substitute: any drift between a structure's occupancy and its counters,
+// any stuck scoreboard entry or lost completion, aborts the run loudly
+// with the cycle, the structure and a full pipeline dump instead of
+// corrupting a figure or hanging forever.
+package guard
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// DefaultStallLimit is the forward-progress watchdog's default window: a
+// run aborts when no instruction retires for this many consecutive
+// cycles. The slowest legitimate dry spell in the paper's workloads (an
+// L2 miss burst behind a barrier) is under 10^3 cycles, so 10^5 is a
+// comfortable two orders of magnitude of slack.
+const DefaultStallLimit = 100_000
+
+// DefaultAuditEvery is the auditor's default check interval in cycles,
+// chosen so the full invariant sweep stays well under 5% of simulation
+// time (see BenchmarkRunBaseMXMAudit).
+const DefaultAuditEvery = 64
+
+// AuditMode selects whether the runtime invariant auditor runs. The zero
+// value is AuditAuto, so a zero Config audits exactly when it should:
+// always under `go test`, never in production binaries unless asked.
+type AuditMode int
+
+const (
+	// AuditAuto enables the auditor under `go test` or when the
+	// VLT_AUDIT environment variable says so (1/on/true vs 0/off/false).
+	AuditAuto AuditMode = iota
+	// AuditOn always audits.
+	AuditOn
+	// AuditOff never audits.
+	AuditOff
+)
+
+// String renders the mode as its flag spelling.
+func (m AuditMode) String() string {
+	switch m {
+	case AuditOn:
+		return "on"
+	case AuditOff:
+		return "off"
+	}
+	return "auto"
+}
+
+// Enabled resolves the mode to a decision: an explicit mode wins, then
+// the VLT_AUDIT environment variable, then `go test` detection.
+func (m AuditMode) Enabled() bool {
+	switch m {
+	case AuditOn:
+		return true
+	case AuditOff:
+		return false
+	}
+	switch strings.ToLower(os.Getenv("VLT_AUDIT")) {
+	case "1", "on", "true":
+		return true
+	case "0", "off", "false":
+		return false
+	}
+	return testing.Testing()
+}
+
+// ParseAuditMode parses a -audit flag value.
+func ParseAuditMode(s string) (AuditMode, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return AuditAuto, nil
+	case "on", "1", "true":
+		return AuditOn, nil
+	case "off", "0", "false":
+		return AuditOff, nil
+	}
+	return AuditAuto, fmt.Errorf("guard: invalid audit mode %q (want auto, on or off)", s)
+}
+
+// InjectKind names a fault-injection experiment. Injections exist to
+// prove the watchdog and auditor fire: each kind perturbs exactly one
+// structure so a test can assert the matching invariant (or the stall
+// watchdog) catches it.
+type InjectKind string
+
+const (
+	// InjectNone disables injection (the zero value).
+	InjectNone InjectKind = ""
+	// InjectStall freezes every pipeline's Tick from the chosen cycle on;
+	// the forward-progress watchdog must abort the run.
+	InjectStall InjectKind = "stall"
+	// InjectDropCompletion marks the next-issued scalar uop on SU 0 as
+	// never completing — a lost completion deadlocks retirement and the
+	// watchdog must catch it.
+	InjectDropCompletion InjectKind = "drop-completion"
+	// InjectCorruptScoreboard increments partition 0's vector rename
+	// count without a matching window entry; the vcl.scoreboard
+	// invariant must fail.
+	InjectCorruptScoreboard InjectKind = "corrupt-scoreboard"
+	// InjectCorruptOccupancy bumps the VCL's enqueued counter so
+	// enqueued != completed + in-flight; the vcl.occupancy invariant
+	// must fail.
+	InjectCorruptOccupancy InjectKind = "corrupt-occupancy"
+	// InjectCorruptCache bumps SU 0's L1D tag-hit counter so
+	// hits+misses != accesses; the cache-counter invariant must fail.
+	InjectCorruptCache InjectKind = "corrupt-cache"
+	// InjectCorruptRetired decrements SU 0's retired-instruction count;
+	// the machine.retired-monotone invariant must fail.
+	InjectCorruptRetired InjectKind = "corrupt-retired"
+)
+
+// Injection arms one fault-injection experiment: Kind fires once when the
+// simulation reaches Cycle. The zero value injects nothing. It is a plain
+// value struct so it embeds deterministically in a Config fingerprint.
+type Injection struct {
+	Kind  InjectKind
+	Cycle uint64
+}
+
+// StallError reports a run aborted for lack of forward progress: either
+// the watchdog saw no instruction retire for Limit consecutive cycles
+// (Kind "livelock") or the run hit the MaxCycles backstop (Kind
+// "max-cycles"). Dump carries the full pipeline diagnostic.
+type StallError struct {
+	Config string // machine configuration name
+	Kind   string // "livelock" or "max-cycles"
+	Cycle  uint64 // cycle the guard tripped
+	Limit  uint64 // the limit that was exceeded
+	Dump   string // diagnostic pipeline dump
+}
+
+func (e *StallError) Error() string {
+	if e.Kind == "max-cycles" {
+		return fmt.Sprintf("guard: %s exceeded %d cycles (max-cycles backstop at cycle %d)",
+			e.Config, e.Limit, e.Cycle)
+	}
+	return fmt.Sprintf("guard: %s: no instruction retired for %d cycles (livelock detected at cycle %d)",
+		e.Config, e.Limit, e.Cycle)
+}
+
+// InvariantError reports a violated cross-layer invariant: Invariant
+// names the structure and check (e.g. "vcl.scoreboard",
+// "su0.cache-counters"), Detail carries the mismatched numbers, and Dump
+// the full pipeline diagnostic.
+type InvariantError struct {
+	Config    string
+	Invariant string
+	Cycle     uint64
+	Detail    string
+	Dump      string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("guard: %s: invariant %q violated at cycle %d: %s",
+		e.Config, e.Invariant, e.Cycle, e.Detail)
+}
+
+// Retired is one entry of the retired-instruction ring buffer.
+type Retired struct {
+	Cycle  uint64
+	Thread int
+	PC     int
+	Inst   fmt.Stringer // the retired instruction; formatted only on dump
+}
+
+// Ring is a fixed-capacity ring buffer of the last K retired
+// instructions. Push is allocation-free so it can run on every retire.
+type Ring struct {
+	buf  []Retired
+	next int
+	full bool
+}
+
+// NewRing returns a ring holding the last k retirements.
+func NewRing(k int) *Ring {
+	if k < 1 {
+		k = 1
+	}
+	return &Ring{buf: make([]Retired, k)}
+}
+
+// Push records one retirement, evicting the oldest when full.
+func (r *Ring) Push(cycle uint64, thread, pc int, inst fmt.Stringer) {
+	r.buf[r.next] = Retired{Cycle: cycle, Thread: thread, PC: pc, Inst: inst}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of recorded retirements (at most the capacity).
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Records returns the recorded retirements, oldest first.
+func (r *Ring) Records() []Retired {
+	if !r.full {
+		return append([]Retired(nil), r.buf[:r.next]...)
+	}
+	out := make([]Retired, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// String renders the ring for a diagnostic dump, oldest first.
+func (r *Ring) String() string {
+	recs := r.Records()
+	if len(recs) == 0 {
+		return "  (no instructions retired)\n"
+	}
+	var sb strings.Builder
+	for _, rec := range recs {
+		fmt.Fprintf(&sb, "  cycle %-8d t%d @%-5d %s\n", rec.Cycle, rec.Thread, rec.PC, rec.Inst)
+	}
+	return sb.String()
+}
+
+// Watchdog detects lack of forward progress: Observe is fed the
+// machine-wide retired-instruction total every cycle and reports true
+// once the total has not advanced for limit consecutive cycles.
+type Watchdog struct {
+	limit       uint64
+	lastRetired uint64
+	lastAdvance uint64
+}
+
+// NewWatchdog returns a watchdog with the given stall window (0 selects
+// DefaultStallLimit).
+func NewWatchdog(limit uint64) *Watchdog {
+	if limit == 0 {
+		limit = DefaultStallLimit
+	}
+	return &Watchdog{limit: limit}
+}
+
+// Limit returns the stall window in cycles.
+func (w *Watchdog) Limit() uint64 { return w.limit }
+
+// Observe records the retired total at cycle now and reports whether the
+// stall window has been exceeded.
+func (w *Watchdog) Observe(now, retired uint64) bool {
+	if retired != w.lastRetired {
+		w.lastRetired = retired
+		w.lastAdvance = now
+		return false
+	}
+	return now-w.lastAdvance >= w.limit
+}
+
+// Auditor evaluates a set of named invariant checks every `every` cycles.
+// Checks are read-only closures over the machine's structures; a non-nil
+// error from a check becomes an InvariantError naming it.
+type Auditor struct {
+	every  uint64
+	names  []string
+	checks []func() error
+
+	// Passes counts completed audit sweeps; Checks counts individual
+	// invariant evaluations. Both register as guard.* metrics.
+	Passes uint64
+	Checks uint64
+}
+
+// NewAuditor returns an auditor checking every `every` cycles (0 selects
+// DefaultAuditEvery).
+func NewAuditor(every uint64) *Auditor {
+	if every == 0 {
+		every = DefaultAuditEvery
+	}
+	return &Auditor{every: every}
+}
+
+// Every returns the check interval in cycles.
+func (a *Auditor) Every() uint64 { return a.every }
+
+// Register adds a named invariant check.
+func (a *Auditor) Register(name string, check func() error) {
+	a.names = append(a.names, name)
+	a.checks = append(a.checks, check)
+}
+
+// Names returns the registered invariant names, in registration order.
+func (a *Auditor) Names() []string { return append([]string(nil), a.names...) }
+
+// Check runs the registered invariants if cycle now is on the audit
+// interval. The first failure is returned as an InvariantError with the
+// invariant name and cycle filled in; Config and Dump are the caller's to
+// complete.
+func (a *Auditor) Check(now uint64) *InvariantError {
+	if now%a.every != 0 {
+		return nil
+	}
+	for i, check := range a.checks {
+		a.Checks++
+		if err := check(); err != nil {
+			return &InvariantError{Invariant: a.names[i], Cycle: now, Detail: err.Error()}
+		}
+	}
+	a.Passes++
+	return nil
+}

@@ -38,8 +38,10 @@ func (in *Instruction) Encode(buf []byte) int {
 	return WordSize
 }
 
-// Decode deserializes one instruction from buf. It fails if the opcode is
-// unknown or a register field is malformed.
+// Decode deserializes one instruction from buf. It accepts only
+// canonical encodings: an unknown opcode, a malformed register field,
+// undefined flag bits or a nonzero pad byte all fail, so every
+// instruction that decodes re-encodes to the identical bytes.
 func Decode(buf []byte) (Instruction, error) {
 	if len(buf) < WordSize {
 		return Instruction{}, fmt.Errorf("isa: short instruction word: %d bytes", len(buf))
@@ -59,6 +61,12 @@ func Decode(buf []byte) (Instruction, error) {
 		}
 	}
 	flags := buf[6]
+	if flags&^(flagHasImm|flagBScalar) != 0 {
+		return Instruction{}, fmt.Errorf("isa: unknown flag bits %#x in %s", flags, in.Op)
+	}
+	if buf[7] != 0 {
+		return Instruction{}, fmt.Errorf("isa: nonzero pad byte %#x in %s", buf[7], in.Op)
+	}
 	in.HasImm = flags&flagHasImm != 0
 	in.BScalar = flags&flagBScalar != 0
 	in.Imm = int64(binary.LittleEndian.Uint64(buf[8:]))

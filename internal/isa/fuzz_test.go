@@ -1,0 +1,37 @@
+package isa_test
+
+import (
+	"testing"
+
+	"vlt/internal/isa"
+	"vlt/internal/workloads"
+)
+
+// FuzzDecode proves the binary instruction decoder never panics: any
+// byte image either decodes or returns an error. The corpus seeds are
+// the encoded forms of the nine workload kernels.
+func FuzzDecode(f *testing.F) {
+	for _, w := range workloads.All() {
+		prog := w.Build(workloads.Params{Threads: 2, Scale: 1})
+		f.Add(isa.EncodeProgram(prog.Code))
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, isa.WordSize))
+	f.Fuzz(func(t *testing.T, image []byte) {
+		code, err := isa.DecodeProgram(image)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to the identical image: the
+		// decoder accepts only canonical encodings.
+		back := isa.EncodeProgram(code)
+		if len(back) != len(image) {
+			t.Fatalf("round trip changed length: %d -> %d", len(image), len(back))
+		}
+		for i := range back {
+			if back[i] != image[i] {
+				t.Fatalf("round trip changed byte %d: %#x -> %#x", i, image[i], back[i])
+			}
+		}
+	})
+}

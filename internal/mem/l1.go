@@ -1,6 +1,10 @@
 package mem
 
-import "vlt/internal/stats"
+import (
+	"fmt"
+
+	"vlt/internal/stats"
+)
 
 // L1Config parameterizes a first-level (or lane instruction) cache.
 type L1Config struct {
@@ -51,6 +55,21 @@ func (l *L1) RegisterMetrics(r *stats.Registry) {
 	r.Counter("tag.hits", &l.cache.Hits)
 	r.Counter("tag.misses", &l.cache.Misses)
 	r.Gauge("hit_pct", func() float64 { return 100 * l.cache.HitRate() })
+}
+
+// CheckInvariants verifies the cache's counter consistency: every access
+// probes the tag array exactly once, so hits + misses must equal
+// accesses, and every tag miss goes to the L2.
+func (l *L1) CheckInvariants() error {
+	if l.cache.Hits+l.cache.Misses != l.Accesses {
+		return fmt.Errorf("mem: l1 counters inconsistent: tag hits %d + misses %d != accesses %d",
+			l.cache.Hits, l.cache.Misses, l.Accesses)
+	}
+	if l.MissTo2 != l.cache.Misses {
+		return fmt.Errorf("mem: l1 counters inconsistent: misses-to-L2 %d != tag misses %d",
+			l.MissTo2, l.cache.Misses)
+	}
+	return nil
 }
 
 // Access services one word access arriving at cycle now and returns its

@@ -1,6 +1,10 @@
 package mem
 
-import "vlt/internal/stats"
+import (
+	"fmt"
+
+	"vlt/internal/stats"
+)
 
 // L2Config parameterizes the shared second-level cache.
 type L2Config struct {
@@ -71,6 +75,18 @@ func (l *L2) RegisterMetrics(r *stats.Registry) {
 	r.Counter("tag.hits", &l.cache.Hits)
 	r.Counter("tag.misses", &l.cache.Misses)
 	r.Gauge("hit_rate", l.cache.HitRate)
+}
+
+// CheckInvariants verifies the cache's counter consistency. Bulk vector
+// accesses count every element in Reads/Writes but probe the tag array
+// only once per distinct line, so tag traffic is bounded by (not equal
+// to) the request count.
+func (l *L2) CheckInvariants() error {
+	if l.cache.Hits+l.cache.Misses > l.Reads+l.Writes {
+		return fmt.Errorf("mem: l2 counters inconsistent: tag hits %d + misses %d > reads %d + writes %d",
+			l.cache.Hits, l.cache.Misses, l.Reads, l.Writes)
+	}
+	return nil
 }
 
 func (l *L2) bank(addr uint64) int {

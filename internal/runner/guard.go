@@ -1,0 +1,30 @@
+package runner
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a worker panic captured by Guard: the job's key, the
+// panic value and the goroutine stack at the point of the panic. One
+// panicking job fails only itself; the pool and its other jobs continue.
+type PanicError struct {
+	Key   string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %q panicked: %v", e.Key, e.Value)
+}
+
+// Guard runs fn, converting a panic into a *PanicError instead of
+// unwinding the caller. key names the job in the error.
+func Guard[V any](key string, fn func() (V, error)) (val V, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Key: key, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

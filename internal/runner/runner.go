@@ -7,6 +7,7 @@
 package runner
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -87,6 +88,8 @@ func (p *Pool[K, V]) Stats() Stats {
 // key was submitted before, the earlier Task is returned and fn is not
 // executed: each unique key runs exactly once per pool. Jobs start
 // immediately (subject to the worker bound) whether or not anyone Waits.
+// A panicking fn fails only its own Task, with a *PanicError carrying
+// the key and stack; the pool and its other jobs keep running.
 func (p *Pool[K, V]) Submit(key K, fn func() (V, error)) *Task[V] {
 	p.mu.Lock()
 	p.stats.Submitted++
@@ -107,7 +110,7 @@ func (p *Pool[K, V]) Submit(key K, fn func() (V, error)) *Task[V] {
 		// The progress callback runs before the done channel closes, so a
 		// job's callback has completed before any Wait on it returns.
 		defer close(t.done)
-		t.val, t.err = fn()
+		t.val, t.err = Guard(fmt.Sprint(key), fn)
 		p.mu.Lock()
 		p.done++
 		cb, done, total := p.progress, p.done, p.total

@@ -100,6 +100,12 @@ type VCL struct {
 	// VIQRejects counts Enqueue calls refused for lack of VIQ space —
 	// back-pressure into the scalar unit's dispatch stage.
 	VIQRejects uint64
+
+	// Enqueued and Completed count vector instructions accepted into and
+	// retired out of the VCL; Enqueued == Completed + InFlight() is the
+	// occupancy invariant the guard auditor checks.
+	Enqueued  uint64
+	Completed uint64
 }
 
 // New builds a VCL controlling totalLanes lanes, initially configured as a
@@ -144,6 +150,8 @@ func (v *VCL) RegisterMetrics(r *stats.Registry) {
 	r.Counter("issued", &v.VecIssued)
 	r.Counter("elem_ops", &v.VecElemOps)
 	r.Counter("viq_rejects", &v.VIQRejects)
+	r.Counter("enqueued", &v.Enqueued)
+	r.Counter("completed", &v.Completed)
 	r.CounterFn("lanes", func() uint64 { return uint64(v.totalLanes) })
 	r.CounterFn("partitions", func() uint64 { return uint64(len(v.parts)) })
 	r.CounterFn("in_flight", func() uint64 { return uint64(v.InFlight()) })
@@ -219,6 +227,7 @@ func (v *VCL) Enqueue(u *pipe.Uop) bool {
 		return false
 	}
 	p.viq = append(p.viq, u)
+	v.Enqueued++
 	return true
 }
 
@@ -268,7 +277,7 @@ func (v *VCL) Drained(now uint64) bool {
 // for this cycle.
 func (v *VCL) Tick(now uint64) {
 	for _, p := range v.parts {
-		p.retireDone(now)
+		v.Completed += uint64(p.retireDone(now))
 		p.dispatch(now, v.cfg.IssueWidth)
 	}
 	v.issue(now)
@@ -276,14 +285,16 @@ func (v *VCL) Tick(now uint64) {
 }
 
 // retireDone removes completed instructions from the window, releasing
-// their implicit renames.
-func (p *partition) retireDone(now uint64) {
+// their implicit renames, and returns how many it retired.
+func (p *partition) retireDone(now uint64) int {
+	retired := 0
 	dst := p.win[:0]
 	for _, u := range p.win {
 		if u.Issued && u.DoneBy(now) {
 			if hasVecDest(u) {
 				p.renames--
 			}
+			retired++
 			continue
 		}
 		dst = append(dst, u)
@@ -293,6 +304,7 @@ func (p *partition) retireDone(now uint64) {
 		p.win[i] = nil
 	}
 	p.win = dst
+	return retired
 }
 
 func hasVecDest(u *pipe.Uop) bool {

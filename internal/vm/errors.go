@@ -1,0 +1,19 @@
+package vm
+
+import "fmt"
+
+// FaultError is an architectural execution fault raised by a guest
+// program: an out-of-bounds or misaligned address, a bad vector length,
+// or any other condition the functional machine refuses to execute. It
+// identifies the faulting thread, PC and instruction; the machine model
+// wraps it with the simulated cycle on the way out.
+type FaultError struct {
+	Thread int
+	PC     int
+	Inst   string // disassembly of the faulting instruction
+	Msg    string
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("vm: thread %d pc %d (%s): %s", e.Thread, e.PC, e.Inst, e.Msg)
+}

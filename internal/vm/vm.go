@@ -203,8 +203,12 @@ func (v *VM) Thread(tid int) *Thread { return v.threads[tid] }
 func (v *VM) MaxVL() int { return isa.MaxVL / v.Partitions }
 
 func (v *VM) fault(t *Thread, format string, args ...any) error {
-	return fmt.Errorf("vm: thread %d pc %d (%s): %s",
-		t.ID, t.PC, v.code[t.PC].String(), fmt.Sprintf(format, args...))
+	return &FaultError{
+		Thread: t.ID,
+		PC:     t.PC,
+		Inst:   v.code[t.PC].String(),
+		Msg:    fmt.Sprintf(format, args...),
+	}
 }
 
 func (t *Thread) getInt(r isa.Reg) uint64 {

@@ -18,10 +18,14 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test -race ./... (invariant auditor forced on)"
+VLT_AUDIT=on go test -race ./...
 
 echo "== golden metrics (testdata/metrics_base_mxm.golden)"
 go test -run TestGoldenMetrics .
+
+echo "== fuzz smoke (5s per target)"
+go test -run='^$' -fuzz=FuzzAssemble -fuzztime=5s ./internal/asm
+go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/isa
 
 echo "check.sh: all gates passed"

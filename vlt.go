@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"vlt/internal/core"
+	"vlt/internal/guard"
 	"vlt/internal/vcl"
 	"vlt/internal/workloads"
 )
@@ -96,7 +97,26 @@ type Options struct {
 	// hands all lanes to thread 0 for serial phases (the phase-switching
 	// extension study's baseline).
 	NoLaneReclaim bool
+	// StallLimit aborts the run with a *guard.StallError and a full
+	// diagnostic dump when no instruction retires for this many
+	// consecutive cycles (0 = guard.DefaultStallLimit).
+	StallLimit uint64
+	// Audit controls the runtime invariant auditor. The zero value
+	// AuditAuto enables it under `go test` and disables it otherwise
+	// (the VLT_AUDIT environment variable overrides).
+	Audit AuditMode
 }
+
+// AuditMode selects whether the machine's invariant auditor runs; see
+// the guard package for the resolution rules.
+type AuditMode = guard.AuditMode
+
+// Audit modes, re-exported for Options.Audit.
+const (
+	AuditAuto = guard.AuditAuto
+	AuditOn   = guard.AuditOn
+	AuditOff  = guard.AuditOff
+)
 
 // SUStat is one scalar unit's pipeline census.
 type SUStat = core.SUStat
@@ -207,6 +227,16 @@ func (r Result) IPC() float64 {
 }
 
 func machineConfig(m Machine, opt Options) (core.Config, int, error) {
+	cfg, threads, err := baseMachineConfig(m, opt)
+	if err != nil {
+		return cfg, threads, err
+	}
+	cfg.StallLimit = opt.StallLimit
+	cfg.Audit = opt.Audit
+	return cfg, threads, nil
+}
+
+func baseMachineConfig(m Machine, opt Options) (core.Config, int, error) {
 	threads := opt.Threads
 	pick := func(cfg core.Config, def int) (core.Config, int, error) {
 		if threads == 0 {
