@@ -1,46 +1,82 @@
 // Command vltasm assembles a textual program into a binary program image
-// that cmd/vltrun executes and cmd/vltdis disassembles.
+// that cmd/vltrun executes and cmd/vltdis disassembles. Every program is
+// statically verified (internal/vet) after assembly; findings fail the
+// build unless -no-vet is given.
 //
 // Usage:
 //
-//	vltasm [-o prog.vltp] prog.vasm
+//	vltasm [-o prog.vltp] [-no-vet] prog.vasm
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/debug"
 	"strings"
 
 	"vlt/internal/asm"
+	"vlt/internal/report"
+	"vlt/internal/runner"
 )
 
 func main() {
-	out := flag.String("o", "", "output image path (default: input with .vltp)")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "vltasm: usage: vltasm [-o out.vltp] prog.vasm")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, assembles, writes to
+// stdout/stderr and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltasm",
+				&runner.PanicError{Key: "vltasm", Value: r, Stack: debug.Stack()}))
+			code = 2
+		}
+	}()
+
+	fs := flag.NewFlagSet("vltasm", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "output image path (default: input with .vltp)")
+	noVet := fs.Bool("no-vet", false, "skip static verification of the assembled program")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: vltasm [-o out.vltp] [-no-vet] prog.vasm")
+		fs.PrintDefaults()
 	}
-	in := flag.Arg(0)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	in := fs.Arg(0)
 	src, err := os.ReadFile(in)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltasm:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltasm:", err)
+		return 1
 	}
 	prog, err := asm.ParseText(in, string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltasm:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltasm:", err)
+		return 1
+	}
+	if !*noVet {
+		if err := prog.VetErr(); err != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltasm", err))
+			return 1
+		}
 	}
 	path := *out
 	if path == "" {
 		path = strings.TrimSuffix(in, ".vasm") + ".vltp"
 	}
 	if err := os.WriteFile(path, prog.SaveImage(), 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "vltasm:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltasm:", err)
+		return 1
 	}
-	fmt.Printf("%s: %d instructions, %d data segments, %d symbols -> %s\n",
+	fmt.Fprintf(stdout, "%s: %d instructions, %d data segments, %d symbols -> %s\n",
 		prog.Name, len(prog.Code), len(prog.Segments), len(prog.Symbols), path)
+	return 0
 }

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const cleanSrc = `# minimal vet-clean program
+.alloc buf 8
+movi r1, 8
+setvl r2, r1
+movi r3, &buf
+vld v1, (r3)
+vadd v2, v1, v1
+vst v2, (r3)
+halt
+`
+
+func TestRunAssemble(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "prog.vasm")
+	if err := os.WriteFile(in, []byte(cleanSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{in}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "instructions") {
+		t.Errorf("missing summary line:\n%s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "prog.vltp")); err != nil {
+		t.Errorf("image not written: %v", err)
+	}
+}
+
+// TestRunVetRejects: assembly succeeds but verification fails, so the
+// image must not be written.
+func TestRunVetRejects(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "broken.vasm")
+	if err := os.WriteFile(in, []byte("viota v1\nhalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{in}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "vl-unset") {
+		t.Errorf("stderr missing vl-unset diagnostic:\n%s", errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "broken.vltp")); err == nil {
+		t.Error("image written despite vet findings")
+	}
+}
+
+// TestRunNoVet: -no-vet restores the old assemble-only behavior.
+func TestRunNoVet(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "broken.vasm")
+	if err := os.WriteFile(in, []byte("viota v1\nhalt\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-no-vet", in}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "broken.vltp")); err != nil {
+		t.Errorf("image not written with -no-vet: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.vasm")}, &out, &errOut); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

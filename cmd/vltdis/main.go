@@ -8,26 +8,45 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
+	"runtime/debug"
 
 	"vlt/internal/asm"
+	"vlt/internal/report"
+	"vlt/internal/runner"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "vltdis: usage: vltdis prog.vltp")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, disassembles, writes
+// to stdout/stderr and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltdis",
+				&runner.PanicError{Key: "vltdis", Value: r, Stack: debug.Stack()}))
+			code = 2
+		}
+	}()
+
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "vltdis: usage: vltdis prog.vltp")
+		return 2
 	}
-	data, err := os.ReadFile(os.Args[1])
+	data, err := os.ReadFile(args[0])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltdis:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltdis:", err)
+		return 1
 	}
 	prog, err := asm.LoadImage(data)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vltdis:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "vltdis:", err)
+		return 1
 	}
-	fmt.Printf("# program %q: %d instructions\n", prog.Name, len(prog.Code))
-	fmt.Print(prog.Disassemble())
+	fmt.Fprintf(stdout, "# program %q: %d instructions\n", prog.Name, len(prog.Code))
+	fmt.Fprint(stdout, prog.Disassemble())
+	return 0
 }

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+)
+
+func TestRunRoundTrip(t *testing.T) {
+	b := asm.NewBuilder("roundtrip")
+	buf := b.Alloc("buf", 8)
+	b.MovI(isa.R(1), 8)
+	b.SetVL(isa.R(2), isa.R(1))
+	b.MovA(isa.R(3), buf)
+	b.VLd(isa.V(1), isa.R(3))
+	b.Halt()
+	prog := b.MustAssemble()
+
+	path := filepath.Join(t.TempDir(), "prog.vltp")
+	if err := os.WriteFile(path, prog.SaveImage(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{`program "roundtrip"`, "setvl", "vld", "halt"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.vltp")}, &out, &errOut); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.vltp")
+	if err := os.WriteFile(bad, []byte("not an image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{bad}, &out, &errOut); code != 1 {
+		t.Errorf("bad image: exit %d, want 1", code)
+	}
+}

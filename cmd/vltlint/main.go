@@ -1,0 +1,79 @@
+// Command vltlint enforces the simulator's determinism contract
+// (internal/lint) on the repository's own Go source. It exits 1 when
+// any finding is reported and is wired into scripts/check.sh as a
+// tier-1 gate.
+//
+// Usage:
+//
+//	vltlint [-root dir] [patterns...]
+//
+// Patterns are package directories relative to the module root or the
+// recursive form "./..." (the default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+
+	"vlt/internal/lint"
+	"vlt/internal/report"
+	"vlt/internal/runner"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, lints, writes to
+// stdout/stderr and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltlint",
+				&runner.PanicError{Key: "vltlint", Value: r, Stack: debug.Stack()}))
+			code = 2
+		}
+	}()
+
+	fs := flag.NewFlagSet("vltlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: vltlint [-root dir] [patterns...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = lint.FindModuleRoot(".")
+		if err != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltlint", err))
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := lint.Run(dir, patterns)
+	if err != nil {
+		fmt.Fprint(stderr, report.Diagnose("vltlint", err))
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "vltlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunRepoClean lints the real repository, which must be clean.
+func TestRunRepoClean(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestRunFindings lints a fabricated module with a violation.
+func TestRunFindings(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		full := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module vlt\n\ngo 1.22\n")
+	write("internal/core/bad.go", `package core
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-root", root, "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "wall-clock") {
+		t.Errorf("stdout missing wall-clock finding:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "1 finding(s)") {
+		t.Errorf("stderr missing summary:\n%s", errOut.String())
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./no/such/pkg"}, &out, &errOut); code != 2 {
+		t.Errorf("bad pattern: exit %d, want 2", code)
+	}
+}

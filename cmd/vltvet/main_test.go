@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloadsAll(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-workloads", "all"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, w := range []string{"mxm: clean", "sage: clean", "bt: clean", "barnes: clean"} {
+		if !strings.Contains(got, w) {
+			t.Errorf("output missing %q:\n%s", w, got)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-workloads", "mxm,bt", "-threads", "4", "-json"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var reports []struct {
+		Program string             `json:"program"`
+		Counts  map[string]float64 `json:"counts"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &reports); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(reports) != 2 || reports[0].Program != "mxm" || reports[1].Program != "bt" {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+	for _, r := range reports {
+		if r.Counts["vet.findings"] != 0 {
+			t.Errorf("%s: expected zero findings, got %v", r.Program, r.Counts)
+		}
+	}
+}
+
+func TestRunBrokenFile(t *testing.T) {
+	// A program whose vector op runs before any SETVL.
+	src := "viota v1\nhalt\n"
+	path := filepath.Join(t.TempDir(), "broken.vasm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{path}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := errOut.String()
+	for _, want := range []string{"failed static verification", "vl-unset", "finding(s)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stderr missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-workloads", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown workload: exit %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.vasm")}, &out, &errOut); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,47 @@
+package vlt
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunDeterministic is the regression test behind the determinism
+// contract that cmd/vltlint enforces (no wall clock, no map iteration,
+// no stray goroutines in the sim core): two back-to-back runs of the
+// same cell must produce byte-identical metric snapshots, including on
+// the multithreaded machines where scheduling races would show first.
+func TestRunDeterministic(t *testing.T) {
+	cells := []struct {
+		workload string
+		machine  Machine
+		opt      Options
+	}{
+		{"mxm", MachineBase, Options{}},
+		{"bt", MachineV4CMP, Options{Threads: 4}},
+		{"ocean", MachineVLTScalar, Options{}},
+	}
+	for _, c := range cells {
+		t.Run(c.workload+"/"+string(c.machine), func(t *testing.T) {
+			first, err := Run(c.workload, c.machine, c.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(c.workload, c.machine, c.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(first.Metrics, second.Metrics) {
+				for i := range first.Metrics {
+					a, b := first.Metrics[i], second.Metrics[i]
+					if a != b {
+						t.Errorf("metric %d differs: %+v vs %+v", i, a, b)
+					}
+				}
+				t.Fatal("back-to-back runs disagree")
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Error("Result fields outside Metrics differ between runs")
+			}
+		})
+	}
+}

@@ -1,0 +1,28 @@
+package asm
+
+import (
+	"vlt/internal/vet"
+)
+
+// Vet runs the static verifier (internal/vet) over the assembled
+// program and returns its findings, sorted by PC then kind. An empty
+// result means the program is vet clean; all workload kernels must be.
+func (p *Program) Vet() []vet.Finding {
+	return vet.Analyze(vet.Image{
+		Name:     p.Name,
+		Code:     p.Code,
+		DataBase: DataBase,
+		DataEnd:  p.DataEnd(),
+	})
+}
+
+// VetErr wraps Vet's findings as a *vet.Error, or returns nil when the
+// program is clean. Command-line tools pass the result to
+// report.Diagnose.
+func (p *Program) VetErr() error {
+	fs := p.Vet()
+	if len(fs) == 0 {
+		return nil
+	}
+	return &vet.Error{Program: p.Name, Findings: fs}
+}

@@ -58,8 +58,8 @@ func (m *Machine) initGuard() {
 	})
 	a.Register("machine.region-cycles", func() error {
 		var sum uint64
-		for _, cyc := range m.regionCycles {
-			sum += cyc
+		for _, region := range m.regions() {
+			sum += m.regionCycles[region]
 		}
 		if sum != m.now+1 {
 			return fmt.Errorf("region cycle sum %d != elapsed cycles %d", sum, m.now+1)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"vlt/internal/asm"
 	"vlt/internal/guard"
@@ -242,9 +243,9 @@ func (m *Machine) registerMetrics() {
 			return 0
 		}
 		var opp uint64
-		for region, cyc := range m.regionCycles {
+		for _, region := range m.regions() {
 			if region > 0 {
-				opp += cyc
+				opp += m.regionCycles[region]
 			}
 		}
 		return 100 * float64(opp) / float64(m.now)
@@ -269,6 +270,18 @@ func (m *Machine) registerMetrics() {
 		}
 		m.sampler = m.reg.NewSampler(m.cfg.SampleEvery, names...)
 	}
+}
+
+// regions returns the region ids present in regionCycles in ascending
+// order. Every iteration over the per-region cycle map goes through
+// this helper so results never depend on Go's randomized map order.
+func (m *Machine) regions() []int64 {
+	ids := make([]int64, 0, len(m.regionCycles))
+	for id := range m.regionCycles { //vltlint:ignore map-range — keys sorted before use
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // Registry exposes the machine's metric registry (live values; take a

@@ -141,26 +141,39 @@ type Instruction struct {
 
 // Dests returns the architectural registers written by the instruction.
 // The result is freshly allocated on each call.
-func (in *Instruction) Dests() []Reg {
-	info := in.Op.Info()
-	var out []Reg
+func (in *Instruction) Dests() []Reg { return in.AppendDests(nil) }
+
+// AppendDests appends the registers written by the instruction to buf
+// and returns it — the allocation-free form of Dests for analysis loops
+// that reuse a scratch buffer.
+func (in *Instruction) AppendDests(buf []Reg) []Reg {
+	if int(in.Op) >= NumOps {
+		return buf
+	}
+	info := &opInfos[in.Op] // avoid the Info() struct copy in analysis loops
 	for _, slot := range info.Writes {
 		if r := in.reg(slot); r != RegNone {
-			out = append(out, r)
+			buf = append(buf, r)
 		}
 	}
 	if in.Op == OpSetVL {
-		out = append(out, RegVL)
+		buf = append(buf, RegVL)
 	}
-	return out
+	return buf
 }
 
 // Srcs returns the architectural registers read by the instruction,
 // including the implicit RegVL read of vector operations. The result is
 // freshly allocated on each call.
-func (in *Instruction) Srcs() []Reg {
-	info := in.Op.Info()
-	var out []Reg
+func (in *Instruction) Srcs() []Reg { return in.AppendSrcs(nil) }
+
+// AppendSrcs appends the registers read by the instruction to buf and
+// returns it — the allocation-free form of Srcs.
+func (in *Instruction) AppendSrcs(buf []Reg) []Reg {
+	if int(in.Op) >= NumOps {
+		return buf
+	}
+	info := &opInfos[in.Op] // avoid the Info() struct copy in analysis loops
 	for _, slot := range info.Reads {
 		r := in.reg(slot)
 		if r == RegNone {
@@ -169,12 +182,27 @@ func (in *Instruction) Srcs() []Reg {
 		if slot == slotRb && in.HasImm {
 			continue // immediate form: Rb not read
 		}
-		out = append(out, r)
+		buf = append(buf, r)
 	}
 	if info.Vector && in.Op != OpSetVL {
-		out = append(out, RegVL)
+		buf = append(buf, RegVL)
 	}
-	return out
+	return buf
+}
+
+// BranchTarget returns the static control-flow target of the
+// instruction (an absolute instruction index), if it has one:
+// conditional branches, jumps and calls. Indirect jumps (JR) have no
+// static target.
+func (in *Instruction) BranchTarget() (int, bool) {
+	if int(in.Op) >= NumOps {
+		return 0, false
+	}
+	switch opInfos[in.Op].Format {
+	case FmtBranch, FmtJump:
+		return int(in.Imm), true
+	}
+	return 0, false
 }
 
 // operand slots used by the metadata tables.

@@ -294,3 +294,25 @@ func TestDisassemblyNeverEmpty(t *testing.T) {
 		}
 	}
 }
+
+func TestBranchTarget(t *testing.T) {
+	cases := []struct {
+		in     Instruction
+		target int
+		ok     bool
+	}{
+		{Instruction{Op: OpBeq, Ra: R(1), Rb: R(2), Imm: 7}, 7, true},
+		{Instruction{Op: OpBne, Ra: R(1), Rb: R(2), Imm: -3}, -3, true},
+		{Instruction{Op: OpJ, Imm: 12}, 12, true},
+		{Instruction{Op: OpJal, Rd: R(1), Imm: 4}, 4, true},
+		{Instruction{Op: OpJr, Ra: R(1)}, 0, false},
+		{Instruction{Op: OpAdd, Rd: R(1), Ra: R(2), Rb: R(3)}, 0, false},
+		{Instruction{Op: OpHalt}, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := c.in.BranchTarget()
+		if ok != c.ok || (ok && got != c.target) {
+			t.Errorf("%s: BranchTarget() = %d, %v; want %d, %v", c.in.String(), got, ok, c.target, c.ok)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package lint enforces the simulator's determinism contract on its own
+// Go source, using only the standard library (go/ast, go/parser,
+// go/types). The north-star result of this repository — byte-stable
+// simulation output under heavy parallel traffic — holds only if the
+// sim core never consults a nondeterministic source. The contract:
+//
+//   - no wall-clock reads (time.Now and friends) inside the simulation
+//     core packages;
+//   - no math/rand (seeded or not) inside the core: all pseudo-random
+//     data generation lives in workloads with fixed seeds;
+//   - no range over a map inside the core: map iteration order is
+//     randomized by the runtime, so every iteration must go through
+//     sorted keys (the one sanctioned helper carries an ignore
+//     directive);
+//   - no goroutine spawns anywhere outside internal/runner: all
+//     concurrency is confined to one audited worker pool.
+//
+// A finding can be suppressed with a trailing or preceding comment of
+// the form "//vltlint:ignore <rule>"; the directive is part of the
+// contract's audit trail, not an escape hatch.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Rule names, used in findings and ignore directives.
+const (
+	RuleWallClock = "wall-clock"
+	RuleMathRand  = "math-rand"
+	RuleMapRange  = "map-range"
+	RuleGoroutine = "goroutine"
+)
+
+// contractPkgs are the simulation-core import paths subject to the
+// wall-clock, math-rand and map-range rules. The goroutine rule applies
+// to every package except internal/runner.
+var contractPkgs = map[string]bool{
+	"vlt/internal/core":   true,
+	"vlt/internal/scalar": true,
+	"vlt/internal/lane":   true,
+	"vlt/internal/vcl":    true,
+	"vlt/internal/mem":    true,
+	"vlt/internal/vm":     true,
+}
+
+// goroutinePkg is the only package allowed to spawn goroutines.
+const goroutinePkg = "vlt/internal/runner"
+
+// wallClockFuncs are the time-package functions that read the wall
+// clock or schedule against it.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTicker": true,
+	"NewTimer": true, "Sleep": true,
+}
+
+// Finding is one contract violation.
+type Finding struct {
+	File string // path relative to the module root
+	Line int
+	Col  int
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Msg)
+}
+
+// Run lints the packages selected by patterns under the module root.
+// Patterns are package directories relative to root ("./internal/core")
+// or the recursive form "./...". Test files are exempt.
+func Run(root string, patterns []string) ([]Finding, error) {
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	l := &linter{
+		root: root,
+		fset: token.NewFileSet(),
+		pkgs: map[string]*types.Package{},
+	}
+	var findings []Finding
+	for _, dir := range dirs {
+		fs, err := l.lintDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return findings, nil
+}
+
+// FindModuleRoot walks up from dir to the directory containing go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expand resolves pattern arguments to package directories (relative to
+// root) that contain non-test Go files.
+func expand(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(filepath.Clean(rel))
+		if !seen[rel] {
+			seen[rel] = true
+			dirs = append(dirs, rel)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+					return filepath.SkipDir
+				}
+				if ok, err := hasGoFiles(path); err != nil {
+					return err
+				} else if ok {
+					rel, err := filepath.Rel(root, path)
+					if err != nil {
+						return err
+					}
+					add(rel)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			rel := strings.TrimPrefix(pat, "./")
+			if rel == "" || rel == "." {
+				rel = "."
+			}
+			if ok, err := hasGoFiles(filepath.Join(root, rel)); err != nil {
+				return nil, err
+			} else if !ok {
+				return nil, fmt.Errorf("lint: no Go files in %s", pat)
+			}
+			add(rel)
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		if goSource(e) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func goSource(e os.DirEntry) bool {
+	name := e.Name()
+	return !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// linter carries the shared parse/typecheck state of one Run.
+type linter struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*types.Package // memoized by import path
+}
+
+// importPath maps a root-relative package directory to its import path
+// in module "vlt".
+func (l *linter) importPath(rel string) string {
+	if rel == "." {
+		return "vlt"
+	}
+	return "vlt/" + filepath.ToSlash(rel)
+}
+
+// lintDir parses, typechecks and checks one package directory.
+func (l *linter) lintDir(rel string) ([]Finding, error) {
+	files, err := l.parseDir(rel)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	path := l.importPath(rel)
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	l.typecheck(path, files, info)
+
+	c := &checker{
+		linter:   l,
+		pkg:      path,
+		contract: contractPkgs[path],
+		info:     info,
+	}
+	var findings []Finding
+	for _, f := range files {
+		findings = append(findings, c.file(f)...)
+	}
+	return findings, nil
+}
+
+// parseDir parses the non-test Go files of a package directory.
+func (l *linter) parseDir(rel string) ([]*ast.File, error) {
+	dir := filepath.Join(l.root, rel)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if !goSource(e) {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typecheck runs a lenient go/types pass: module-local imports are
+// resolved recursively from source, everything else (stdlib) is stubbed
+// as an empty package, and type errors are ignored. The pass only needs
+// to resolve the types of in-module expressions (is this a map?) and
+// the identity of imported package names (is this ident the "time"
+// package?) — both survive the stubs.
+func (l *linter) typecheck(path string, files []*ast.File, info *types.Info) *types.Package {
+	cfg := types.Config{
+		Importer: (*moduleImporter)(l),
+		Error:    func(error) {}, // lenient: stubs make some errors inevitable
+	}
+	pkg, _ := cfg.Check(path, l.fset, files, info)
+	return pkg
+}
+
+// moduleImporter resolves "vlt/..." imports from the module source and
+// stubs every other path.
+type moduleImporter linter
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	var rel string
+	switch {
+	case path == "vlt":
+		rel = "."
+	case strings.HasPrefix(path, "vlt/"):
+		rel = strings.TrimPrefix(path, "vlt/")
+	default:
+		p := types.NewPackage(path, filepath.Base(path))
+		p.MarkComplete()
+		m.pkgs[path] = p
+		return p, nil
+	}
+	// Break import cycles defensively (Go forbids them, but a broken
+	// tree must not hang the linter).
+	m.pkgs[path] = types.NewPackage(path, filepath.Base(path))
+	files, err := (*linter)(m).parseDir(rel)
+	if err != nil {
+		return nil, err
+	}
+	pkg := (*linter)(m).typecheck(path, files, &types.Info{})
+	if pkg != nil {
+		m.pkgs[path] = pkg
+	}
+	return m.pkgs[path], nil
+}
+
+// checker applies the rules to one package's files.
+type checker struct {
+	*linter
+	pkg      string
+	contract bool
+	info     *types.Info
+
+	ignores map[int][]string // line -> rules suppressed on that line
+}
+
+func (c *checker) file(f *ast.File) []Finding {
+	var findings []Finding
+	c.ignores = ignoreDirectives(c.fset, f)
+	emit := func(pos token.Pos, rule, format string, args ...any) {
+		p := c.fset.Position(pos)
+		if c.suppressed(p.Line, rule) {
+			return
+		}
+		file := p.Filename
+		if rel, err := filepath.Rel(c.root, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+		findings = append(findings, Finding{
+			File: file, Line: p.Line, Col: p.Column,
+			Rule: rule, Msg: fmt.Sprintf(format, args...),
+		})
+	}
+
+	if c.contract {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				emit(imp.Pos(), RuleMathRand,
+					"core package %s imports %q: pseudo-random data belongs in workloads with fixed seeds", c.pkg, p)
+			}
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if c.pkg != goroutinePkg {
+				emit(n.Pos(), RuleGoroutine,
+					"goroutine spawned outside %s: route concurrency through the audited worker pool", goroutinePkg)
+			}
+		case *ast.RangeStmt:
+			if c.contract && c.isMapRange(n.X) {
+				emit(n.Pos(), RuleMapRange,
+					"range over map in core package %s: iteration order is randomized, iterate sorted keys instead", c.pkg)
+			}
+		case *ast.SelectorExpr:
+			if c.contract && c.isTimePkg(n.X) && wallClockFuncs[n.Sel.Name] {
+				emit(n.Pos(), RuleWallClock,
+					"time.%s in core package %s: simulated time must come from the cycle counter", n.Sel.Name, c.pkg)
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// isMapRange reports whether expr has map type.
+func (c *checker) isMapRange(expr ast.Expr) bool {
+	tv, ok := c.info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isTimePkg reports whether expr is an identifier bound to the imported
+// "time" package (robust against renamed imports).
+func (c *checker) isTimePkg(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := c.info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path() == "time"
+		}
+		return false
+	}
+	// Fallback when type info is incomplete: match the bare name.
+	return id.Name == "time"
+}
+
+func (c *checker) suppressed(line int, rule string) bool {
+	for _, r := range c.ignores[line] {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirectives collects "//vltlint:ignore <rule>" comments. A
+// directive suppresses the rule on its own line and the line below, so
+// it works both trailing a statement and on the line above it.
+func ignoreDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
+	out := map[int][]string{}
+	for _, cg := range f.Comments {
+		for _, cm := range cg.List {
+			text := strings.TrimPrefix(cm.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "vltlint:ignore") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "vltlint:ignore"))
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			rule := fields[0]
+			line := fset.Position(cm.Pos()).Line
+			out[line] = append(out[line], rule)
+			out[line+1] = append(out[line+1], rule)
+		}
+	}
+	return out
+}

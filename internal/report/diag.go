@@ -7,6 +7,7 @@ import (
 
 	"vlt/internal/guard"
 	"vlt/internal/runner"
+	"vlt/internal/vet"
 	"vlt/internal/vm"
 )
 
@@ -32,7 +33,15 @@ func Diagnose(tool string, err error) string {
 	var inv *guard.InvariantError
 	var pan *runner.PanicError
 	var fault *vm.FaultError
+	var vetErr *vet.Error
 	switch {
+	case errors.As(err, &vetErr):
+		headline("program %q failed static verification (%d finding(s))", vetErr.Program, len(vetErr.Findings))
+		sb.WriteString("\nthe verifier proves each program sets VL before vector ops, reads only\n")
+		sb.WriteString("defined registers, and stays inside its data image; see DESIGN.md §9.\n\n")
+		for _, f := range vetErr.Findings {
+			sb.WriteString(indent(f.String(), "  "))
+		}
 	case errors.As(err, &stall):
 		headline("simulation aborted: %v", stall)
 		dump(stall.Dump)

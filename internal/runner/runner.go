@@ -121,3 +121,26 @@ func (p *Pool[K, V]) Submit(key K, fn func() (V, error)) *Task[V] {
 	}()
 	return t
 }
+
+// Parallel runs every function concurrently and returns their errors
+// indexed by position. It exists so callers outside this package never
+// spawn goroutines themselves: the determinism lint (internal/lint)
+// confines goroutine creation to this one audited package. Each
+// function writes only its own error slot, so the result is
+// deterministic regardless of completion order; panics are isolated
+// per function and surface as *PanicError values.
+func Parallel(fns ...func() error) []error {
+	errs := make([]error, len(fns))
+	var wg sync.WaitGroup
+	for i, fn := range fns {
+		wg.Add(1)
+		go func(i int, fn func() error) {
+			defer wg.Done()
+			_, errs[i] = Guard(fmt.Sprintf("parallel[%d]", i), func() (struct{}, error) {
+				return struct{}{}, fn()
+			})
+		}(i, fn)
+	}
+	wg.Wait()
+	return errs
+}

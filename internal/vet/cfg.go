@@ -1,0 +1,228 @@
+package vet
+
+import (
+	"vlt/internal/isa"
+)
+
+// block is one basic block: instructions [start, end), plus the CFG
+// edges out of its terminator. Successors are stored inline (a block
+// has at most two static successors: branch target and fallthrough);
+// indirect jumps share the cfg-wide returnPoints list instead.
+type block struct {
+	start, end int
+	succ       [2]int32
+	nsucc      int8
+	jr         bool // ends in an indirect jump: successors unknown
+}
+
+// cfg is the control-flow graph of a code image.
+type cfg struct {
+	blocks       []block
+	blockOf      []int32 // instruction index -> block id
+	returnPoints []int32 // blocks following a JAL: the JR successor set
+	hasJr        bool    // any indirect jump in the image
+	hasJal       bool    // any call in the image
+}
+
+// succs returns b's successor block ids.
+func (g *cfg) succs(b *block) []int32 {
+	if b.jr {
+		return g.returnPoints
+	}
+	return b.succ[:b.nsucc]
+}
+
+// branchTarget is isa.Instruction.BranchTarget, aliased for brevity.
+func branchTarget(in *isa.Instruction) (int, bool) {
+	return in.BranchTarget()
+}
+
+// endsBlock reports whether the instruction terminates a basic block.
+func endsBlock(in *isa.Instruction) bool {
+	return in.Op.Info().Branch || in.Op == isa.OpHalt
+}
+
+// fallsThrough reports whether control may continue to pc+1.
+func fallsThrough(in *isa.Instruction) bool {
+	switch in.Op {
+	case isa.OpHalt, isa.OpJ, isa.OpJr:
+		return false
+	case isa.OpJal:
+		// A call transfers to its target; pc+1 is only reached by a
+		// matching JR, which the CFG models separately.
+		return false
+	}
+	return true
+}
+
+// buildCFG splits the image into basic blocks. Targets outside the image
+// are dropped from the edge set (structural() reports them).
+func buildCFG(code []isa.Instruction) *cfg {
+	n := len(code)
+	leader := make([]bool, n)
+	leader[0] = true
+	g := &cfg{blockOf: make([]int32, n)}
+	nblocks := 0
+	for i := range code {
+		in := &code[i]
+		if in.Op == isa.OpJr {
+			g.hasJr = true
+		}
+		if in.Op == isa.OpJal {
+			g.hasJal = true
+		}
+		if t, ok := branchTarget(in); ok && t >= 0 && t < n {
+			leader[t] = true
+		}
+		if endsBlock(in) && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+	for i := range leader {
+		if leader[i] {
+			nblocks++
+		}
+	}
+	g.blocks = make([]block, 0, nblocks)
+
+	for i := 0; i < n; {
+		b := block{start: i}
+		for i < n {
+			i++
+			if i < n && leader[i] {
+				break
+			}
+			if endsBlock(&code[i-1]) {
+				break
+			}
+		}
+		b.end = i
+		id := int32(len(g.blocks))
+		for pc := b.start; pc < b.end; pc++ {
+			g.blockOf[pc] = id
+		}
+		g.blocks = append(g.blocks, b)
+	}
+
+	// Edges. After JAL, pc+1 is the return point: model JR as jumping to
+	// any return point (and any branch target) so analyses stay sound in
+	// the presence of calls.
+	for id := range g.blocks {
+		b := &g.blocks[id]
+		last := &code[b.end-1]
+		if last.Op == isa.OpJal && b.end < n {
+			g.returnPoints = append(g.returnPoints, g.blockOf[b.end])
+		}
+	}
+	for id := range g.blocks {
+		b := &g.blocks[id]
+		last := &code[b.end-1]
+		if last.Op == isa.OpJr {
+			b.jr = true
+			continue
+		}
+		if t, ok := branchTarget(last); ok && t >= 0 && t < n {
+			b.succ[b.nsucc] = g.blockOf[t]
+			b.nsucc++
+		}
+		if fallsThrough(last) && b.end < n {
+			b.succ[b.nsucc] = g.blockOf[b.end]
+			b.nsucc++
+		}
+	}
+	return g
+}
+
+// rpo returns the reachable block ids in reverse postorder from entry —
+// the iteration order under which the forward fixpoint converges in
+// O(loop-nesting-depth) rounds instead of O(blocks).
+func (g *cfg) rpo() []int {
+	seen := make([]bool, len(g.blocks))
+	order := make([]int, 0, len(g.blocks))
+	var dfs func(int)
+	dfs = func(id int) {
+		seen[id] = true
+		for _, s := range g.succs(&g.blocks[id]) {
+			if !seen[s] {
+				dfs(int(s))
+			}
+		}
+		order = append(order, id)
+	}
+	dfs(0)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// structural reports branch targets outside the image, execution falling
+// off the image end, and unreachable blocks.
+func (a *analysis) structural() {
+	code := a.img.Code
+	n := len(code)
+	for pc := range code {
+		in := &code[pc]
+		if t, ok := branchTarget(in); ok && (t < 0 || t >= n) {
+			a.badTargets = true
+			a.emit(KindBadBranch, pc, isa.RegNone,
+				"%s targets instruction %d, outside the image [0,%d)", in, t, n)
+		}
+	}
+	if last := &code[n-1]; fallsThrough(last) {
+		a.emit(KindFallOffEnd, n-1, isa.RegNone,
+			"%s at the image end can fall through past the last instruction", last)
+	}
+
+	// Reachability. An indirect jump makes the successor set open-ended,
+	// so with JR present (beyond the modeled return points) unreachable
+	// reports would be guesses; skip them.
+	if a.g.hasJr {
+		return
+	}
+	reach := make([]bool, len(a.g.blocks))
+	work := []int{0}
+	reach[0] = true
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range a.g.succs(&a.g.blocks[id]) {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, int(s))
+			}
+		}
+	}
+	for id, r := range reach {
+		if !r {
+			b := a.g.blocks[id]
+			a.emit(KindUnreachable, b.start, isa.RegNone,
+				"block %d (pc %d-%d) is unreachable from entry", id, b.start, b.end-1)
+		}
+	}
+}
+
+// reachable returns the per-block reachability vector used by the
+// dataflow passes (all true when JR defeats the analysis).
+func (a *analysis) reachable() []bool {
+	reach := make([]bool, len(a.g.blocks))
+	if a.g.hasJr {
+		for i := range reach {
+			reach[i] = true
+		}
+		return reach
+	}
+	work := []int{0}
+	reach[0] = true
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range a.g.succs(&a.g.blocks[id]) {
+			if !reach[s] {
+				reach[s] = true
+				work = append(work, int(s))
+			}
+		}
+	}
+	return reach
+}

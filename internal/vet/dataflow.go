@@ -1,0 +1,566 @@
+package vet
+
+import (
+	"sync"
+
+	"vlt/internal/isa"
+)
+
+// The forward analysis runs one joined abstract interpretation over the
+// CFG: a may-defined register set (use-before-def), a constant/nonzero
+// scalar value domain (SETVL operands, addresses, strides), a linear
+// form per vector register (gather/scatter index vectors), and a
+// vector-length state proving 1 <= VL <= MaxVL at every vector op.
+
+// sval is the abstract value of a scalar register.
+type sval struct {
+	k svKind
+	c uint64 // valid when k == svConst
+}
+
+type svKind uint8
+
+const (
+	svUnknown svKind = iota
+	svConst
+	svNonZero // definitely nonzero, value unknown
+)
+
+func constV(c uint64) sval { return sval{k: svConst, c: c} }
+
+func (v sval) nonzero() bool { return v.k == svNonZero || (v.k == svConst && v.c != 0) }
+
+func joinSval(a, b sval) sval {
+	switch {
+	case a == b:
+		return a
+	case a.nonzero() && b.nonzero():
+		return sval{k: svNonZero}
+	default:
+		return sval{}
+	}
+}
+
+// vval is the abstract value of a vector register: when lin is set,
+// element i holds a*i + b — the shape of every index vector the
+// workloads build (VIOTA scaled and offset by scalar constants).
+type vval struct {
+	lin  bool
+	a, b int64
+}
+
+func joinVval(x, y vval) vval {
+	if x == y {
+		return x
+	}
+	return vval{}
+}
+
+// vlState tracks what is known about the vector-length register.
+type vlState struct {
+	maySkip bool // some path reaches here with no SETVL executed
+	mayBad  bool // the active SETVL operand was not provably nonzero
+	max     int  // largest VL any SETVL on a path here can produce
+}
+
+func joinVL(a, b vlState) vlState {
+	m := a.max
+	if b.max > m {
+		m = b.max
+	}
+	return vlState{maySkip: a.maySkip || b.maySkip, mayBad: a.mayBad || b.mayBad, max: m}
+}
+
+// bitset covers the unified register id space (isa.NumRegs <= 128).
+type bitset [2]uint64
+
+func (s *bitset) set(r isa.Reg)      { s[r/64] |= 1 << (r % 64) }
+func (s *bitset) has(r isa.Reg) bool { return s[r/64]&(1<<(r%64)) != 0 }
+func (s *bitset) clear(r isa.Reg)    { s[r/64] &^= 1 << (r % 64) }
+func (s *bitset) union(o bitset) bool {
+	before := *s
+	s[0] |= o[0]
+	s[1] |= o[1]
+	return *s != before
+}
+
+// state is the abstract machine state at one program point.
+type state struct {
+	ok   bool // point is reachable (bottom when false)
+	def  bitset
+	vals [isa.NumRegs]sval
+	vecs [isa.NumVecRegs]vval
+	vl   vlState
+}
+
+// The functional simulator's register conventions (asm.RegTID/RegNTH,
+// mirrored here because vet cannot import asm).
+var (
+	regTID = isa.R(30)
+	regNTH = isa.R(29)
+)
+
+// entryState is the architectural reset state: every register reads
+// zero, TID and NTH are preset by the VM, VL has never been set.
+func entryState() state {
+	var st state
+	st.ok = true
+	for r := 0; r < isa.NumRegs; r++ {
+		st.vals[r] = constV(0)
+	}
+	st.def.set(isa.R(0))
+	st.def.set(regTID)
+	st.def.set(regNTH)
+	st.vals[regTID] = sval{}             // thread id: 0..NTH-1, unknown
+	st.vals[regNTH] = sval{k: svNonZero} // thread count >= 1
+	st.vl = vlState{maySkip: true}
+	return st
+}
+
+// joinState merges src into dst. States can only disagree on registers
+// the program mentions (a.used/a.usedVecs): nothing else is ever
+// written or refined, so the join loops skip the rest.
+func (a *analysis) joinState(dst *state, src *state) bool {
+	if !src.ok {
+		return false
+	}
+	if !dst.ok {
+		*dst = *src
+		return true
+	}
+	changed := dst.def.union(src.def)
+	for _, r := range a.used {
+		if j := joinSval(dst.vals[r], src.vals[r]); j != dst.vals[r] {
+			dst.vals[r] = j
+			changed = true
+		}
+	}
+	for _, v := range a.usedVecs {
+		if j := joinVval(dst.vecs[v], src.vecs[v]); j != dst.vecs[v] {
+			dst.vecs[v] = j
+			changed = true
+		}
+	}
+	if j := joinVL(dst.vl, src.vl); j != dst.vl {
+		dst.vl = j
+		changed = true
+	}
+	return changed
+}
+
+// statePool recycles the per-block state arrays across Analyze calls:
+// they are the dominant allocation, and experiment drivers vet many
+// programs back to back.
+var statePool sync.Pool
+
+func getStates(n int) []state {
+	if p, _ := statePool.Get().(*[]state); p != nil && cap(*p) >= n {
+		s := (*p)[:n]
+		for i := range s {
+			s[i] = state{}
+		}
+		return s
+	}
+	return make([]state, n)
+}
+
+func putStates(s []state) { statePool.Put(&s) }
+
+// forward runs the joined forward analysis to a fixpoint, then replays
+// each reachable block once to report findings against the final states.
+func (a *analysis) forward() {
+	nb := len(a.g.blocks)
+	in := getStates(nb)
+	defer putStates(in)
+	in[0] = entryState()
+
+	// Iterate reachable blocks in reverse postorder, revisiting only
+	// blocks whose in-state changed; a change flowing backward (a loop
+	// edge) forces another round.
+	order := a.g.rpo()
+	pos := make([]int, nb)
+	for k, id := range order {
+		pos[id] = k
+	}
+	dirty := make([]bool, nb)
+	dirty[0] = true
+	for again := true; again; {
+		again = false
+		for k, id := range order {
+			if !dirty[id] {
+				continue
+			}
+			dirty[id] = false
+			st := in[id]
+			b := a.g.blocks[id]
+			for pc := b.start; pc < b.end; pc++ {
+				a.transfer(&st, pc, false)
+			}
+			last := &a.img.Code[b.end-1]
+			_, hasTarget := branchTarget(last)
+			// Garbage streams may carry RegNone operands; skip the (index
+			// register based) refinement rather than fault on them.
+			conditional := hasTarget && fallsThrough(last) &&
+				int(last.Ra) < isa.NumRegs && int(last.Rb) < isa.NumRegs
+			for i, s := range a.g.succs(&b) {
+				if conditional {
+					// Successor 0 is the branch target (see buildCFG).
+					// refineEdge touches at most the two condition
+					// operands; save/restore them instead of copying
+					// the whole state per edge.
+					sa, sb := st.vals[last.Ra], st.vals[last.Rb]
+					refineEdge(&st, last, i == 0)
+					if a.joinState(&in[s], &st) {
+						dirty[s] = true
+						if pos[s] <= k {
+							again = true
+						}
+					}
+					st.vals[last.Ra], st.vals[last.Rb] = sa, sb
+					continue
+				}
+				if a.joinState(&in[s], &st) {
+					dirty[s] = true
+					if pos[s] <= k {
+						again = true
+					}
+				}
+			}
+		}
+	}
+
+	for id := range a.g.blocks {
+		st := in[id]
+		if !st.ok {
+			continue
+		}
+		b := a.g.blocks[id]
+		for pc := b.start; pc < b.end; pc++ {
+			a.transfer(&st, pc, true)
+		}
+	}
+}
+
+// refineEdge sharpens the out-state along one CFG edge using the branch
+// condition: an equality test against a known zero proves the other
+// operand zero (equal edge) or nonzero (unequal edge) — exactly the
+// strip-mine idiom that guards SETVL with "beq rem, r0, done".
+func refineEdge(st *state, last *isa.Instruction, taken bool) {
+	var eqOnTaken bool
+	switch last.Op {
+	case isa.OpBeq:
+		eqOnTaken = true
+	case isa.OpBne:
+		eqOnTaken = false
+	default:
+		return
+	}
+	refine := func(r isa.Reg, other sval) {
+		if !(other.k == svConst && other.c == 0) {
+			return
+		}
+		if r.IsInt() && r.Index() == 0 {
+			return
+		}
+		if taken == eqOnTaken {
+			st.vals[r] = constV(0)
+		} else if st.vals[r].k == svUnknown {
+			st.vals[r] = sval{k: svNonZero}
+		}
+	}
+	refine(last.Ra, st.vals[last.Rb])
+	refine(last.Rb, st.vals[last.Ra])
+}
+
+// transfer interprets one instruction over st. In reporting mode it
+// first emits findings against the pre-state.
+func (a *analysis) transfer(st *state, pc int, report bool) {
+	in := &a.img.Code[pc]
+
+	if report {
+		a.checkReads(st, pc, in)
+		a.checkMemory(st, pc, in)
+	}
+
+	// Most instructions (FP compute, loads, stores) cannot produce a
+	// tracked abstract value: they only clobber their destinations.
+	if a.flags[pc]&pcTracked == 0 {
+		for _, d := range a.dst(pc) {
+			if d.IsInt() && d.Index() == 0 {
+				continue
+			}
+			st.def.set(d)
+			if d.IsVec() {
+				st.vecs[d.Index()] = vval{}
+			} else {
+				st.vals[d] = sval{}
+			}
+		}
+		return
+	}
+
+	// Operand values, read before any destination is clobbered.
+	val := func(r isa.Reg) sval {
+		if r.IsInt() && r.Index() == 0 {
+			return constV(0)
+		}
+		return st.vals[r]
+	}
+	bVal := func() sval {
+		if in.HasImm {
+			return constV(uint64(in.Imm))
+		}
+		return val(in.Rb)
+	}
+	vec := func(r isa.Reg) vval {
+		if r.IsVec() {
+			return st.vecs[r.Index()]
+		}
+		return vval{}
+	}
+
+	var newVal sval // scalar result, applied to scalar dests
+	var newVec vval // vector result, applied to vector dests
+	setVL := false
+
+	switch in.Op {
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlt, isa.OpSltu, isa.OpSeq,
+		isa.OpDiv, isa.OpRem:
+		newVal = foldALU(in.Op, val(in.Ra), bVal())
+	case isa.OpMovI:
+		newVal = constV(uint64(in.Imm))
+	case isa.OpMov:
+		newVal = val(in.Ra)
+	case isa.OpSetVL:
+		op := val(in.Ra)
+		setVL = true
+		st.vl.maySkip = false
+		st.vl.mayBad = !op.nonzero()
+		st.vl.max = isa.MaxVL
+		if op.k == svConst && op.c < isa.MaxVL {
+			st.vl.max = int(op.c)
+		}
+		// rd = min(ra, partition max VL): nonzero whenever ra is.
+		if op.nonzero() {
+			newVal = sval{k: svNonZero}
+		}
+	case isa.OpVIota:
+		newVec = vval{lin: true, a: 1, b: 0}
+	case isa.OpVBcastI:
+		if v := val(in.Ra); v.k == svConst {
+			newVec = vval{lin: true, a: 0, b: int64(v.c)}
+		}
+	case isa.OpVMov:
+		newVec = vec(in.Ra)
+	case isa.OpVAdd, isa.OpVSub, isa.OpVMul, isa.OpVSll:
+		newVec = foldVec(in, vec(in.Ra), val, st)
+	}
+
+	for _, d := range a.dst(pc) {
+		if d == isa.RegVL {
+			continue // tracked by st.vl
+		}
+		if d.IsInt() && d.Index() == 0 {
+			continue // r0 is hardwired zero
+		}
+		st.def.set(d)
+		if d.IsVec() {
+			st.vecs[d.Index()] = newVec
+			continue
+		}
+		st.vals[d] = newVal
+	}
+	if setVL {
+		st.def.set(isa.RegVL)
+	}
+}
+
+// foldALU evaluates a scalar ALU op over abstract operands, mirroring
+// the functional simulator's semantics for the foldable subset.
+func foldALU(op isa.Op, a, b sval) sval {
+	if a.k != svConst || b.k != svConst {
+		return sval{}
+	}
+	x, y := a.c, b.c
+	switch op {
+	case isa.OpAdd:
+		return constV(x + y)
+	case isa.OpSub:
+		return constV(x - y)
+	case isa.OpMul:
+		return constV(uint64(int64(x) * int64(y)))
+	case isa.OpAnd:
+		return constV(x & y)
+	case isa.OpOr:
+		return constV(x | y)
+	case isa.OpXor:
+		return constV(x ^ y)
+	case isa.OpSll:
+		return constV(x << (y & 63))
+	case isa.OpSrl:
+		return constV(x >> (y & 63))
+	case isa.OpSra:
+		return constV(uint64(int64(x) >> (y & 63)))
+	case isa.OpSlt:
+		return constV(b2u(int64(x) < int64(y)))
+	case isa.OpSltu:
+		return constV(b2u(x < y))
+	case isa.OpSeq:
+		return constV(b2u(x == y))
+	case isa.OpDiv, isa.OpRem:
+		if y == 0 {
+			return sval{} // faults at runtime; the value analysis stays silent
+		}
+		if op == isa.OpDiv {
+			return constV(uint64(int64(x) / int64(y)))
+		}
+		return constV(uint64(int64(x) % int64(y)))
+	}
+	return sval{}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// foldVec propagates linear forms through the vector ops used to build
+// index vectors: vector-scalar forms with a constant scalar, and
+// vector-vector adds of two linear forms.
+func foldVec(in *isa.Instruction, va vval, val func(isa.Reg) sval, st *state) vval {
+	if !va.lin {
+		return vval{}
+	}
+	if in.BScalar {
+		s := val(in.Rb)
+		if s.k != svConst {
+			return vval{}
+		}
+		c := int64(s.c)
+		switch in.Op {
+		case isa.OpVAdd:
+			return vval{lin: true, a: va.a, b: va.b + c}
+		case isa.OpVSub:
+			return vval{lin: true, a: va.a, b: va.b - c}
+		case isa.OpVMul:
+			return vval{lin: true, a: va.a * c, b: va.b * c}
+		case isa.OpVSll:
+			sh := uint64(c) & 63
+			return vval{lin: true, a: va.a << sh, b: va.b << sh}
+		}
+		return vval{}
+	}
+	if in.Op == isa.OpVAdd && in.Rb.IsVec() {
+		if vb := st.vecs[in.Rb.Index()]; vb.lin {
+			return vval{lin: true, a: va.a + vb.a, b: va.b + vb.b}
+		}
+	}
+	return vval{}
+}
+
+// checkReads reports use-before-def and the vector-length proofs.
+func (a *analysis) checkReads(st *state, pc int, in *isa.Instruction) {
+	for _, r := range a.src(pc) {
+		if r == isa.RegVL {
+			continue // the implicit VL read is verified below
+		}
+		if !st.def.has(r) {
+			a.emit(KindUseBeforeDef, pc, r,
+				"%s reads %s, which no path from entry defines", in, r)
+		}
+	}
+	if a.flags[pc]&pcVector != 0 {
+		switch {
+		case st.vl.maySkip:
+			a.emit(KindVLUnset, pc, isa.RegVL,
+				"%s executes on a path where no SETVL has run", in)
+		case st.vl.mayBad:
+			a.emit(KindVLRange, pc, isa.RegVL,
+				"%s may execute with VL = 0: the active SETVL operand is not provably nonzero", in)
+		}
+	}
+}
+
+// checkMemory reports statically provable out-of-bounds and misaligned
+// accesses for every addressing mode with enough known operands.
+func (a *analysis) checkMemory(st *state, pc int, in *isa.Instruction) {
+	if a.flags[pc]&pcMemory == 0 {
+		return
+	}
+	val := func(r isa.Reg) sval {
+		if r.IsInt() && r.Index() == 0 {
+			return constV(0)
+		}
+		return st.vals[r]
+	}
+	maxVL := st.vl.max
+	if maxVL < 1 || st.vl.maySkip || st.vl.mayBad {
+		maxVL = isa.MaxVL
+	}
+
+	// span checks the byte addresses of the first and last element
+	// touched against the data image.
+	span := func(lo, hi int64, what string) {
+		if lo%8 != 0 {
+			a.emit(KindMisaligned, pc, isa.RegNone,
+				"%s: %s address %#x is not 8-byte aligned", in, what, uint64(lo))
+			return
+		}
+		if lo < int64(a.img.DataBase) || uint64(hi)+8 > a.img.DataEnd {
+			a.emit(KindOOB, pc, isa.RegNone,
+				"%s: %s addresses [%#x,%#x] fall outside the data image [%#x,%#x)",
+				in, what, uint64(lo), uint64(hi), a.img.DataBase, a.img.DataEnd)
+		}
+	}
+
+	switch in.Op {
+	case isa.OpLd, isa.OpFLd, isa.OpSt, isa.OpFSt:
+		if ra := val(in.Ra); ra.k == svConst {
+			addr := int64(ra.c) + in.Imm
+			span(addr, addr, "scalar")
+		}
+	case isa.OpVLd, isa.OpVSt:
+		if ra := val(in.Ra); ra.k == svConst {
+			base := int64(ra.c)
+			span(base, base+8*int64(maxVL-1), "unit-stride")
+		}
+	case isa.OpVLdS, isa.OpVStS:
+		stride := val(in.Rb)
+		if stride.k == svConst && int64(stride.c)%8 != 0 {
+			a.emit(KindMisaligned, pc, isa.RegNone,
+				"%s: stride %d is not a multiple of 8", in, int64(stride.c))
+			return
+		}
+		if ra := val(in.Ra); ra.k == svConst && stride.k == svConst {
+			base, s := int64(ra.c), int64(stride.c)
+			lo, hi := base, base+s*int64(maxVL-1)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			span(lo, hi, "strided")
+		}
+	case isa.OpVLdX, isa.OpVStX:
+		if !in.Rb.IsVec() {
+			return
+		}
+		idx := st.vecs[in.Rb.Index()]
+		ra := val(in.Ra)
+		if ra.k != svConst || !idx.lin {
+			return
+		}
+		if idx.a%8 != 0 || idx.b%8 != 0 {
+			a.emit(KindMisaligned, pc, isa.RegNone,
+				"%s: index vector %d*i%+d holds unaligned byte offsets", in, idx.a, idx.b)
+			return
+		}
+		base := int64(ra.c)
+		lo, hi := base+idx.b, base+idx.b+idx.a*int64(maxVL-1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		span(lo, hi, "gather")
+	}
+}

@@ -1,0 +1,126 @@
+package vet
+
+import (
+	"vlt/internal/isa"
+)
+
+// Dead-write detection: a global backward liveness fixpoint over the
+// CFG, then a per-block backward replay flagging pure arithmetic
+// instructions whose destination no path reads before it is clobbered
+// or the program halts. Memory, branch and control instructions are
+// exempt — stores and prefetch loads have effects beyond the register
+// file (the mxm kernel deliberately issues a VLD into a never-read
+// register to warm memory), and SETVL's scalar result is advisory.
+
+// allLive is the top element: every register may be read.
+func allLive() bitset {
+	var s bitset
+	s[0] = ^uint64(0)
+	s[1] = (1 << (isa.NumRegs - 64)) - 1
+	return s
+}
+
+// liveIn computes the registers live at entry to each block, iterating
+// in postorder (the backward analogue of the forward pass's RPO) and
+// revisiting a block only when a successor's live-in grew.
+func (a *analysis) liveIn() []bitset {
+	nb := len(a.g.blocks)
+	in := make([]bitset, nb)
+	order := a.g.rpo()
+	pos := make([]int, nb)
+	preds := make([][]int, nb)
+	for k, id := range order {
+		pos[id] = k
+		for _, s := range a.g.succs(&a.g.blocks[id]) {
+			preds[s] = append(preds[s], id)
+		}
+	}
+	dirty := make([]bool, nb)
+	for _, id := range order {
+		dirty[id] = true
+	}
+	for again := true; again; {
+		again = false
+		for k := len(order) - 1; k >= 0; k-- {
+			id := order[k]
+			if !dirty[id] {
+				continue
+			}
+			dirty[id] = false
+			b := &a.g.blocks[id]
+			live := a.liveOut(b, in)
+			for pc := b.end - 1; pc >= b.start; pc-- {
+				a.step(pc, &live)
+			}
+			if live != in[id] {
+				in[id] = live
+				for _, p := range preds[id] {
+					dirty[p] = true
+					if pos[p] >= k { // already visited this round
+						again = true
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+// liveOut joins the live-in sets of b's successors. An indirect jump
+// leaves the successor set open, so everything must be assumed live.
+func (a *analysis) liveOut(b *block, in []bitset) bitset {
+	if b.jr {
+		return allLive()
+	}
+	var live bitset
+	for _, s := range a.g.succs(b) {
+		live.union(in[s])
+	}
+	return live
+}
+
+// step applies one instruction backward: destinations die, sources
+// become live.
+func (a *analysis) step(pc int, live *bitset) {
+	for _, d := range a.dst(pc) {
+		live.clear(d)
+	}
+	for _, s := range a.src(pc) {
+		live.set(s)
+	}
+}
+
+// deadWrites replays each reachable block backward over the liveness
+// fixpoint and reports dead pure-arithmetic writes.
+func (a *analysis) deadWrites() {
+	code := a.img.Code
+	in := a.liveIn()
+	reach := a.reachable()
+	for id := range a.g.blocks {
+		if !reach[id] {
+			continue
+		}
+		b := &a.g.blocks[id]
+		live := a.liveOut(b, in)
+		for pc := b.end - 1; pc >= b.start; pc-- {
+			instr := &code[pc]
+			if a.flags[pc]&pcFlaggable != 0 {
+				for _, d := range a.dst(pc) {
+					if d.IsInt() && d.Index() == 0 {
+						continue // writes to r0 are architectural no-ops
+					}
+					if !live.has(d) {
+						a.emit(KindDeadWrite, pc, d,
+							"%s writes %s, but no path reads it before it is overwritten or the program halts",
+							instr, d)
+					}
+				}
+			}
+			a.step(pc, &live)
+		}
+	}
+}
+
+// A dead destination is worth a finding only for pure arithmetic (no
+// memory/branch/control side effects); see pcFlaggable, computed once
+// per instruction in precomputeOperands.

@@ -1,0 +1,262 @@
+// Package vet statically verifies assembled VLT programs before they
+// reach a simulator. It is the stand-in for the verification passes a
+// production vector toolchain runs over compiler output: the assembler
+// (internal/asm) only checks that a program is well-formed, while vet
+// proves — or refuses to prove — that it is plausible to execute.
+//
+// The pipeline builds a control-flow graph from the instruction stream
+// and runs five analyses over it:
+//
+//   - structural checks: branch targets inside the image, no fallthrough
+//     off the image end, no unreachable blocks;
+//   - per-block def-use: a register read that no path defines
+//     (use-before-def) and pure arithmetic writes no path reads
+//     (dead-write, via global liveness);
+//   - vector-length verification: every vector instruction must be
+//     provably preceded by a SETVL on all paths, and the SETVL operand
+//     must be provably nonzero so 1 <= VL <= MaxVL holds;
+//   - static memory bounds for the addressing modes the workloads use
+//     (unit-stride, strided, gather) whenever the base address, stride or
+//     index vector is statically known;
+//   - alignment of statically known addresses and strides (the machine
+//     has no sub-word accesses).
+//
+// vet is a verifier, not a bug finder: a finding either pinpoints a
+// provable fault (branch out of range, VL provably zero, address
+// provably out of bounds) or a failure to prove a required property
+// (VL not set on some path). Programs with no findings are "vet clean";
+// all nine workload kernels must assemble vet clean.
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"vlt/internal/isa"
+)
+
+// Kind classifies a finding.
+type Kind string
+
+// Finding kinds, one per analysis outcome.
+const (
+	// KindUseBeforeDef: an instruction reads a register that no path
+	// from program entry defines (r0, TID and NTH are preset).
+	KindUseBeforeDef Kind = "use-before-def"
+	// KindDeadWrite: a pure arithmetic instruction writes a register
+	// that no path reads before it is overwritten or the program halts.
+	KindDeadWrite Kind = "dead-write"
+	// KindVLUnset: a vector instruction is reachable along a path on
+	// which no SETVL has executed.
+	KindVLUnset Kind = "vl-unset"
+	// KindVLRange: the active SETVL operand cannot be proven nonzero,
+	// so the vector instruction may execute with VL = 0.
+	KindVLRange Kind = "vl-range"
+	// KindOOB: a statically known effective address falls outside the
+	// program's data image [DataBase, DataEnd).
+	KindOOB Kind = "oob-access"
+	// KindMisaligned: a statically known address or stride is not
+	// 8-byte aligned.
+	KindMisaligned Kind = "misaligned"
+	// KindBadBranch: a branch or jump target outside the code image.
+	KindBadBranch Kind = "bad-branch"
+	// KindUnreachable: a basic block no path from entry reaches.
+	KindUnreachable Kind = "unreachable"
+	// KindFallOffEnd: execution can run past the last instruction.
+	KindFallOffEnd Kind = "fall-off-end"
+)
+
+// Finding is one verification failure, anchored to the instruction and
+// basic block it occurred in.
+type Finding struct {
+	Kind  Kind
+	PC    int     // instruction index in the code image
+	Block int     // basic-block index in the CFG
+	Reg   isa.Reg // involved register, or isa.RegNone
+	Msg   string  // human-readable detail
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("pc %d (block %d): %s: %s", f.PC, f.Block, f.Kind, f.Msg)
+}
+
+// Error wraps a non-empty finding list as an error for the command-line
+// tools; report.Diagnose renders it as a one-paragraph diagnostic.
+type Error struct {
+	Program  string
+	Findings []Finding
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("vet: program %q has %d finding(s)", e.Program, len(e.Findings))
+}
+
+// Image is the analyzable view of an assembled program. It mirrors
+// asm.Program without importing it (asm calls vet, not the reverse).
+type Image struct {
+	Name     string
+	Code     []isa.Instruction
+	DataBase uint64 // first valid data byte address
+	DataEnd  uint64 // first byte address past all allocations
+}
+
+// Analyze runs every analysis over the image and returns the findings
+// sorted by PC, then kind. A nil or empty result means the program is
+// vet clean. Analyze never panics, whatever the instruction stream.
+func Analyze(img Image) []Finding {
+	if len(img.Code) == 0 {
+		return []Finding{{Kind: KindFallOffEnd, PC: 0, Msg: "empty program: no instructions to execute"}}
+	}
+	g := buildCFG(img.Code)
+	a := &analysis{img: img, g: g, seen: map[findingKey]bool{}}
+	a.precomputeOperands()
+
+	a.structural()
+	// Out-of-range control flow makes every path-sensitive analysis
+	// unreliable; report the structural damage alone.
+	if !a.badTargets {
+		a.forward()
+		a.deadWrites()
+	}
+
+	sort.Slice(a.findings, func(i, j int) bool {
+		if a.findings[i].PC != a.findings[j].PC {
+			return a.findings[i].PC < a.findings[j].PC
+		}
+		if a.findings[i].Kind != a.findings[j].Kind {
+			return a.findings[i].Kind < a.findings[j].Kind
+		}
+		return a.findings[i].Reg < a.findings[j].Reg
+	})
+	return a.findings
+}
+
+// Count tallies findings by kind, using the hierarchical dot-separated
+// naming scheme of internal/stats ("vet.findings.<kind>").
+func Count(findings []Finding) map[string]float64 {
+	out := map[string]float64{"vet.findings": float64(len(findings))}
+	for _, f := range findings {
+		out["vet.findings."+string(f.Kind)]++
+	}
+	return out
+}
+
+type findingKey struct {
+	kind Kind
+	pc   int
+	reg  isa.Reg
+}
+
+// analysis carries the shared state of one Analyze call.
+type analysis struct {
+	img        Image
+	g          *cfg
+	findings   []Finding
+	seen       map[findingKey]bool
+	badTargets bool
+
+	// Per-PC operand lists, precomputed once so the dataflow fixpoints
+	// never re-derive them (AppendSrcs/AppendDests dominate otherwise).
+	// Offset-encoded: opbuf[starts[2pc]:starts[2pc+1]] are pc's sources,
+	// opbuf[starts[2pc+1]:starts[2pc+2]] its destinations.
+	opbuf  []isa.Reg
+	starts []int32
+
+	// Registers the program mentions (plus the preset ones). States can
+	// only ever disagree on these, so the join loops skip the rest.
+	used     []isa.Reg
+	usedVecs []int
+
+	// Per-PC instruction properties, cached so the fixpoint loops never
+	// re-copy isa.Info.
+	flags []pcFlags
+}
+
+// src and dst return pc's precomputed operand lists.
+func (a *analysis) src(pc int) []isa.Reg { return a.opbuf[a.starts[2*pc]:a.starts[2*pc+1]] }
+func (a *analysis) dst(pc int) []isa.Reg { return a.opbuf[a.starts[2*pc+1]:a.starts[2*pc+2]] }
+
+type pcFlags uint8
+
+const (
+	pcVector    pcFlags = 1 << iota // vector op other than SETVL
+	pcMemory                        // memory op
+	pcFlaggable                     // pure arithmetic: dead writes reportable
+	pcTracked                       // op can produce a tracked abstract value
+)
+
+// trackedOp reports whether the value transfer function models op's
+// result; everything else just clobbers its destinations.
+func trackedOp(op isa.Op) bool {
+	switch op {
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlt, isa.OpSltu, isa.OpSeq,
+		isa.OpDiv, isa.OpRem, isa.OpMovI, isa.OpMov, isa.OpSetVL,
+		isa.OpVIota, isa.OpVBcastI, isa.OpVMov,
+		isa.OpVAdd, isa.OpVSub, isa.OpVMul, isa.OpVSll:
+		return true
+	}
+	return false
+}
+
+// precomputeOperands fills a.srcs/a.dests from one shared backing array
+// and collects the used-register sets.
+func (a *analysis) precomputeOperands() {
+	code := a.img.Code
+	a.opbuf = make([]isa.Reg, 0, 6*len(code))
+	a.starts = make([]int32, 1, 2*len(code)+1)
+	a.flags = make([]pcFlags, len(code))
+	var mentioned bitset
+	mentioned.set(isa.R(0))
+	mentioned.set(regTID)
+	mentioned.set(regNTH)
+	for pc := range code {
+		prev := len(a.opbuf)
+		a.opbuf = code[pc].AppendSrcs(a.opbuf)
+		a.starts = append(a.starts, int32(len(a.opbuf)))
+		a.opbuf = code[pc].AppendDests(a.opbuf)
+		a.starts = append(a.starts, int32(len(a.opbuf)))
+		for _, r := range a.opbuf[prev:] {
+			mentioned.set(r)
+		}
+		info := code[pc].Op.Info()
+		if info.Vector && code[pc].Op != isa.OpSetVL {
+			a.flags[pc] |= pcVector
+		}
+		if info.Memory {
+			a.flags[pc] |= pcMemory
+		}
+		if !info.Memory && !info.Branch {
+			switch info.Class {
+			case isa.ClassIntALU, isa.ClassIntMul, isa.ClassFP, isa.ClassVecALU:
+				a.flags[pc] |= pcFlaggable
+			}
+		}
+		if trackedOp(code[pc].Op) {
+			a.flags[pc] |= pcTracked
+		}
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if reg := isa.Reg(r); mentioned.has(reg) && reg != isa.RegVL {
+			a.used = append(a.used, reg)
+			if reg.IsVec() {
+				a.usedVecs = append(a.usedVecs, reg.Index())
+			}
+		}
+	}
+}
+
+func (a *analysis) emit(kind Kind, pc int, reg isa.Reg, format string, args ...any) {
+	key := findingKey{kind, pc, reg}
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	a.findings = append(a.findings, Finding{
+		Kind:  kind,
+		PC:    pc,
+		Block: int(a.g.blockOf[pc]),
+		Reg:   reg,
+		Msg:   fmt.Sprintf(format, args...),
+	})
+}

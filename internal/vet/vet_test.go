@@ -1,0 +1,363 @@
+package vet_test
+
+import (
+	"reflect"
+	"testing"
+
+	"vlt/internal/asm"
+	"vlt/internal/isa"
+	"vlt/internal/vet"
+	"vlt/internal/workloads"
+)
+
+// TestKernelsVetClean asserts the tentpole property: every workload
+// kernel, in every thread configuration the experiments use, assembles
+// vet clean.
+func TestKernelsVetClean(t *testing.T) {
+	for _, w := range workloads.All() {
+		for _, threads := range []int{1, 2, 4} {
+			p := workloads.Params{Threads: threads}
+			prog := w.Build(p)
+			if fs := prog.Vet(); len(fs) != 0 {
+				for _, f := range fs {
+					t.Errorf("%s (threads=%d): %s", w.Name, threads, f)
+				}
+			}
+		}
+		if w.Class == workloads.ScalarParallel {
+			prog := w.Build(workloads.Params{Threads: 4, ScalarOnly: true})
+			if fs := prog.Vet(); len(fs) != 0 {
+				for _, f := range fs {
+					t.Errorf("%s (scalar-only): %s", w.Name, f)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeDeterministic asserts two analyses of the same image return
+// identical findings (ordering included).
+func TestAnalyzeDeterministic(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		b.VIota(isa.V(1)) // vl-unset
+		b.Add(isa.R(1), isa.R(2), isa.R(3))
+		b.Halt()
+	})
+	a := prog.Vet()
+	b := prog.Vet()
+	if len(a) == 0 {
+		t.Fatal("expected findings")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("non-deterministic findings:\n%v\n%v", a, b)
+	}
+}
+
+func mustBuild(t *testing.T, f func(b *asm.Builder)) *asm.Program {
+	t.Helper()
+	b := asm.NewBuilder("fixture")
+	f(b)
+	return b.MustAssemble()
+}
+
+// has reports whether a finding of kind at pc exists; block < 0 skips
+// the block check.
+func has(fs []vet.Finding, kind vet.Kind, pc, block int) bool {
+	for _, f := range fs {
+		if f.Kind == kind && f.PC == pc && (block < 0 || f.Block == block) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVetCleanFixture(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 8)
+		b.MovI(isa.R(1), 8)
+		b.SetVL(isa.R(2), isa.R(1))
+		b.MovA(isa.R(3), a)
+		b.VLd(isa.V(1), isa.R(3))
+		b.VAdd(isa.V(2), isa.V(1), isa.V(1))
+		b.VSt(isa.V(2), isa.R(3))
+		b.Halt()
+	})
+	if fs := prog.Vet(); len(fs) != 0 {
+		t.Errorf("clean fixture has findings: %v", fs)
+	}
+}
+
+// TestPresetRegisters: TID and NTH are preset at reset, so reading them
+// is not use-before-def.
+func TestPresetRegisters(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 1)
+		b.Add(isa.R(1), asm.RegTID, asm.RegNTH)
+		b.MovA(isa.R(2), a)
+		b.St(isa.R(1), isa.R(2), 0)
+		b.Halt()
+	})
+	if fs := prog.Vet(); len(fs) != 0 {
+		t.Errorf("unexpected findings: %v", fs)
+	}
+}
+
+func TestUseBeforeDef(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 1)
+		b.Add(isa.R(1), isa.R(2), isa.R(3)) // r2, r3 never defined
+		b.MovA(isa.R(4), a)
+		b.St(isa.R(1), isa.R(4), 0)
+		b.Halt()
+	})
+	fs := prog.Vet()
+	if !has(fs, vet.KindUseBeforeDef, 0, 0) {
+		t.Errorf("missing use-before-def at pc 0: %v", fs)
+	}
+	for _, f := range fs {
+		if f.Kind == vet.KindUseBeforeDef && f.Reg != isa.R(2) && f.Reg != isa.R(3) {
+			t.Errorf("use-before-def on wrong register: %s", f)
+		}
+	}
+}
+
+func TestVLUnset(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 64)
+		b.MovA(isa.R(1), a)
+		b.VIota(isa.V(1)) // no SETVL on any path
+		b.VSt(isa.V(1), isa.R(1))
+		b.Halt()
+	})
+	fs := prog.Vet()
+	if !has(fs, vet.KindVLUnset, 1, 0) {
+		t.Errorf("missing vl-unset at pc 1: %v", fs)
+	}
+}
+
+// TestVLZero: SETVL from a constant zero must flag every subsequent
+// vector op with vl-range.
+func TestVLZero(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 64)
+		b.MovI(isa.R(1), 0)
+		b.SetVL(isa.R(2), isa.R(1)) // VL = min(0, max): provably zero
+		b.MovA(isa.R(3), a)
+		b.VIota(isa.V(1))
+		b.VSt(isa.V(1), isa.R(3))
+		b.Halt()
+	})
+	fs := prog.Vet()
+	if !has(fs, vet.KindVLRange, 3, 0) {
+		t.Errorf("missing vl-range at pc 3: %v", fs)
+	}
+}
+
+// TestVLUnprovable: SETVL from a register that may be zero (a load)
+// also fails the range proof.
+func TestVLUnprovable(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 64)
+		b.MovA(isa.R(3), a)
+		b.Ld(isa.R(1), isa.R(3), 0)
+		b.SetVL(isa.R(2), isa.R(1))
+		b.VIota(isa.V(1))
+		b.VSt(isa.V(1), isa.R(3))
+		b.Halt()
+	})
+	fs := prog.Vet()
+	if !has(fs, vet.KindVLRange, 3, -1) {
+		t.Errorf("missing vl-range at pc 3: %v", fs)
+	}
+}
+
+// TestVLGuarded: the strip-mine idiom ("beq rem, r0, done" before
+// SETVL) proves the operand nonzero, so no finding fires.
+func TestVLGuarded(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 64)
+		done := b.NewLabel("done")
+		b.MovA(isa.R(3), a)
+		b.Ld(isa.R(1), isa.R(3), 0) // rem: unknown
+		b.Beq(isa.R(1), asm.RegZero, done)
+		b.SetVL(isa.R(2), isa.R(1)) // rem != 0 on this path
+		b.VIota(isa.V(1))
+		b.VSt(isa.V(1), isa.R(3))
+		b.Bind(done)
+		b.Halt()
+	})
+	if fs := prog.Vet(); len(fs) != 0 {
+		t.Errorf("guarded SETVL should be clean, got: %v", fs)
+	}
+}
+
+func TestOOBStride(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 8) // 8 words: far too small for stride 16 x VL 64
+		b.MovI(isa.R(1), 64)
+		b.SetVL(isa.R(2), isa.R(1))
+		b.MovA(isa.R(3), a)
+		b.MovI(isa.R(4), 16)
+		b.VLdS(isa.V(1), isa.R(3), isa.R(4))
+		b.VSt(isa.V(1), isa.R(3))
+		b.Halt()
+	})
+	fs := prog.Vet()
+	if !has(fs, vet.KindOOB, 4, 0) {
+		t.Errorf("missing oob-access at pc 4: %v", fs)
+	}
+}
+
+func TestOOBUnitStride(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 4)
+		b.MovI(isa.R(1), 64)
+		b.SetVL(isa.R(2), isa.R(1))
+		b.MovA(isa.R(3), a)
+		b.VLd(isa.V(1), isa.R(3)) // 64 elements from a 4-word buffer
+		b.VSt(isa.V(1), isa.R(3))
+		b.Halt()
+	})
+	fs := prog.Vet()
+	if !has(fs, vet.KindOOB, 3, 0) {
+		t.Errorf("missing oob-access at pc 3: %v", fs)
+	}
+}
+
+func TestMisalignedStride(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 64)
+		b.MovI(isa.R(1), 4)
+		b.SetVL(isa.R(2), isa.R(1))
+		b.MovA(isa.R(3), a)
+		b.MovI(isa.R(4), 12) // not a multiple of 8
+		b.VLdS(isa.V(1), isa.R(3), isa.R(4))
+		b.VSt(isa.V(1), isa.R(3))
+		b.Halt()
+	})
+	fs := prog.Vet()
+	if !has(fs, vet.KindMisaligned, 4, 0) {
+		t.Errorf("missing misaligned at pc 4: %v", fs)
+	}
+}
+
+func TestDeadWrite(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 1)
+		b.MovI(isa.R(1), 5) // dead: overwritten before any read
+		b.MovI(isa.R(1), 6)
+		b.MovA(isa.R(2), a)
+		b.St(isa.R(1), isa.R(2), 0)
+		b.Halt()
+	})
+	fs := prog.Vet()
+	if !has(fs, vet.KindDeadWrite, 0, 0) {
+		t.Errorf("missing dead-write at pc 0: %v", fs)
+	}
+}
+
+// TestDeadWriteMemoryExempt: a vector load into a never-read register
+// is a software prefetch (the mxm kernel uses it), not a dead write.
+func TestDeadWriteMemoryExempt(t *testing.T) {
+	prog := mustBuild(t, func(b *asm.Builder) {
+		a := b.Alloc("a", 64)
+		b.MovI(isa.R(1), 8)
+		b.SetVL(isa.R(2), isa.R(1))
+		b.MovA(isa.R(3), a)
+		b.VLd(isa.V(9), isa.R(3)) // prefetch: v9 never read
+		b.Halt()
+	})
+	if fs := prog.Vet(); len(fs) != 0 {
+		t.Errorf("prefetch load should be exempt, got: %v", fs)
+	}
+}
+
+func TestBadBranch(t *testing.T) {
+	fs := vet.Analyze(vet.Image{
+		Name: "bad-branch",
+		Code: []isa.Instruction{
+			{Op: isa.OpBeq, Ra: isa.R(0), Rb: isa.R(0), Imm: 99},
+			{Op: isa.OpHalt},
+		},
+		DataBase: asm.DataBase,
+		DataEnd:  asm.DataBase,
+	})
+	if !has(fs, vet.KindBadBranch, 0, 0) {
+		t.Errorf("missing bad-branch at pc 0: %v", fs)
+	}
+}
+
+func TestFallOffEnd(t *testing.T) {
+	fs := vet.Analyze(vet.Image{
+		Name: "fall-off",
+		Code: []isa.Instruction{
+			{Op: isa.OpMovI, Rd: isa.R(1), Imm: 1},
+		},
+		DataBase: asm.DataBase,
+		DataEnd:  asm.DataBase,
+	})
+	if !has(fs, vet.KindFallOffEnd, 0, 0) {
+		t.Errorf("missing fall-off-end at pc 0: %v", fs)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	fs := vet.Analyze(vet.Image{
+		Name: "unreachable",
+		Code: []isa.Instruction{
+			{Op: isa.OpJ, Imm: 2},
+			{Op: isa.OpMovI, Rd: isa.R(1), Imm: 1}, // skipped by the jump
+			{Op: isa.OpHalt},
+		},
+		DataBase: asm.DataBase,
+		DataEnd:  asm.DataBase,
+	})
+	if !has(fs, vet.KindUnreachable, 1, 1) {
+		t.Errorf("missing unreachable at pc 1 block 1: %v", fs)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	fs := vet.Analyze(vet.Image{Name: "empty"})
+	if !has(fs, vet.KindFallOffEnd, 0, -1) {
+		t.Errorf("empty image should report fall-off-end: %v", fs)
+	}
+}
+
+// TestAnalyzeNeverPanics feeds garbage instruction streams.
+func TestAnalyzeNeverPanics(t *testing.T) {
+	imgs := [][]isa.Instruction{
+		{{Op: isa.Op(999)}},
+		{{Op: isa.OpJr, Ra: isa.R(5)}},
+		{{Op: isa.OpJal, Rd: isa.R(1), Imm: 0}},
+		{{Op: isa.OpBeq, Ra: isa.R(1), Rb: isa.R(2), Imm: -7}},
+		{{Op: isa.OpVLdX, Rd: isa.V(0), Ra: isa.R(1), Rb: isa.R(2)}}, // Rb not a vector
+	}
+	for i, code := range imgs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("image %d: Analyze panicked: %v", i, r)
+				}
+			}()
+			vet.Analyze(vet.Image{Name: "garbage", Code: code, DataBase: asm.DataBase, DataEnd: asm.DataBase})
+		}()
+	}
+}
+
+func TestCount(t *testing.T) {
+	fs := []vet.Finding{
+		{Kind: vet.KindDeadWrite},
+		{Kind: vet.KindDeadWrite},
+		{Kind: vet.KindOOB},
+	}
+	got := vet.Count(fs)
+	want := map[string]float64{
+		"vet.findings":            3,
+		"vet.findings.dead-write": 2,
+		"vet.findings.oob-access": 1,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Count = %v, want %v", got, want)
+	}
+}

@@ -109,8 +109,7 @@ func buildBT(p Params) *asm.Program {
 			b.MulI(pY, tmp, int64(btB*8))
 			b.MovA(tmp2, yAddr)
 			b.Add(pY, pY, tmp2)
-			b.MulI(pR, tmp, cellRHSBytes)
-			b.Mov(q, tmp) // save cellIdx for later stores
+			b.Mov(q, tmp) // save cellIdx: pR is derived from it at the stores
 
 			// --- matvec: y[r] = row_r · x, VL 5 ---
 			b.MovI(tmp, btB)

@@ -44,7 +44,6 @@ func buildSage(p Params) *asm.Program {
 		pC     = isa.R(16) // &src[row][j]
 		pD     = isa.R(17) // &dst[row][j]
 		tmp    = isa.R(18)
-		sweep  = isa.R(19)
 		fQ     = isa.F(1)
 		vUp    = isa.V(1)
 		vDown  = isa.V(2)
@@ -63,8 +62,6 @@ func buildSage(p Params) *asm.Program {
 		if s%2 == 1 {
 			from, to = bAddr, aAddr
 		}
-		b.MovI(sweep, int64(s)) // keeps the sweep visible in traces
-		_ = sweep
 		forThreadRR(b, row, nReg, func() {
 			// pC = from + (row+1)*rowBytes + 8; pD likewise into `to`.
 			b.AddI(tmp, row, 1)

