@@ -1,0 +1,132 @@
+// Command vltd is the caching simulation service daemon: a long-lived
+// HTTP server over the vlt simulation and experiment stack
+// (internal/serve). Identical concurrent requests coalesce onto one
+// simulation, results are cached content-addressed under a byte budget,
+// overload is shed with 429 + Retry-After, and SIGINT/SIGTERM drain
+// in-flight simulations before exit.
+//
+// Usage:
+//
+//	vltd [-addr 127.0.0.1:8317] [-jobs N] [-pending N] [-cache-bytes N]
+//	     [-timeout D] [-drain D]
+//
+// Endpoints:
+//
+//	GET /v1/run?workload=mxm&machine=base   one cell, full metric registry
+//	GET /v1/experiment?name=figure6         a paper figure/table by name
+//	GET /v1/workloads                       workload discovery
+//	GET /v1/machines                        machine discovery
+//	GET /healthz                            liveness
+//	GET /metricsz                           serving-layer metric registry
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+	"time"
+
+	"vlt/internal/report"
+	"vlt/internal/runner"
+	"vlt/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// signalNotify is indirect so the smoke test can inject a fake signal
+// instead of signalling the test process.
+var signalNotify = signal.Notify
+
+// run is the testable entry point: it parses args, serves until a
+// termination signal, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltd",
+				&runner.PanicError{Key: "vltd", Value: r, Stack: debug.Stack()}))
+			code = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("vltd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8317", "listen address (host:port; port 0 picks a free port)")
+	jobs := fs.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	pending := fs.Int("pending", 0, "max distinct requests in flight before shedding 429s (0 = 4x jobs)")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "response cache byte budget")
+	timeout := fs.Duration("timeout", 60*time.Second, "default per-request wait deadline")
+	drain := fs.Duration("drain", 30*time.Second, "shutdown grace period for in-flight simulations")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "vltd: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "vltd:", err)
+		return 1
+	}
+	s := serve.New(serve.Config{
+		Jobs:       *jobs,
+		MaxPending: *pending,
+		CacheBytes: *cacheBytes,
+		Timeout:    *timeout,
+	})
+	hs := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(stdout, "vltd: listening on http://%s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signalNotify(sigc, os.Interrupt, syscall.SIGTERM)
+	// The serve goroutine and the signal waiter run under the audited
+	// pool's Parallel (the only sanctioned goroutine source). serveFailed
+	// releases the waiter if Serve dies on its own (e.g. listener error),
+	// so a startup failure never hangs the process.
+	serveFailed := make(chan struct{})
+	errs := runner.Parallel(
+		func() error {
+			err := hs.Serve(ln)
+			close(serveFailed)
+			if err == http.ErrServerClosed {
+				return nil
+			}
+			return err
+		},
+		func() error {
+			select {
+			case sig := <-sigc:
+				fmt.Fprintf(stdout, "vltd: %v: draining in-flight simulations (up to %s)\n", sig, *drain)
+				ctx, cancel := context.WithTimeout(context.Background(), *drain)
+				defer cancel()
+				return hs.Shutdown(ctx)
+			case <-serveFailed:
+				return nil
+			}
+		},
+	)
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintln(stderr, "vltd:", err)
+			code = 1
+		}
+	}
+	if code == 0 {
+		snap := s.Registry().Snapshot()
+		fmt.Fprintf(stdout, "vltd: shutdown complete (%d requests served, %d cache hits, %d simulations)\n",
+			snap.Uint("serve.http.requests"), snap.Uint("serve.cache.hits"),
+			snap.Uint("serve.flight.executed"))
+	}
+	return code
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the
+// daemon's output while it runs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestUsageErrors pins the exit codes for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"positional"}, &out, &errb); code != 2 {
+		t.Fatalf("positional arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.0.0.1:bad"}, &out, &errb); code != 1 {
+		t.Fatalf("unlistenable addr: exit %d, want 1", code)
+	}
+}
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, exercises
+// /healthz and one /v1/run over real HTTP, then delivers a (fake)
+// SIGTERM and verifies a clean drained exit.
+func TestDaemonLifecycle(t *testing.T) {
+	sigc := make(chan chan<- os.Signal, 1)
+	signalNotify = func(c chan<- os.Signal, _ ...os.Signal) { sigc <- c }
+	defer func() { signalNotify = nil }()
+
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-addr", "127.0.0.1:0"}, &out, &errb) }()
+
+	// The daemon prints its resolved address before serving.
+	addrRE := regexp.MustCompile(`listening on (http://[^\s]+)`)
+	var url string
+	deadline := time.Now().Add(5 * time.Second)
+	for url == "" {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("no listen line; stdout=%q stderr=%q", out.String(), errb.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	sig := <-sigc
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil || health.Status != "ok" {
+		t.Fatalf("healthz: %v, status %q", err, health.Status)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(url + "/v1/run?workload=mxm&machine=base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"cycles"`) {
+		t.Fatalf("/v1/run: status %d, body %.120s", resp.StatusCode, body)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr=%q", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if s := out.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "shutdown complete") {
+		t.Fatalf("missing drain/shutdown lines in output:\n%s", s)
+	}
+}

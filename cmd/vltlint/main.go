@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	vltlint [-root dir] [patterns...]
+//	vltlint [-root dir] [-docs] [patterns...]
 //
 // Patterns are package directories relative to the module root or the
-// recursive form "./..." (the default).
+// recursive form "./..." (the default). With -docs it additionally
+// enforces the documentation contract: every internal/* package must
+// carry a doc.go with a package doc comment (rule "pkg-doc").
 package main
 
 import (
@@ -41,8 +43,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("vltlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
+	docs := fs.Bool("docs", false, "also enforce the documentation contract (doc.go per internal package)")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: vltlint [-root dir] [patterns...]")
+		fmt.Fprintln(stderr, "usage: vltlint [-root dir] [-docs] [patterns...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -67,6 +70,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		fmt.Fprint(stderr, report.Diagnose("vltlint", err))
 		return 2
+	}
+	if *docs {
+		docFindings, err := lint.CheckDocs(dir)
+		if err != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltlint", err))
+			return 2
+		}
+		findings = append(findings, docFindings...)
 	}
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f)

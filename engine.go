@@ -207,29 +207,83 @@ func (f *cellFuture) wait() (Result, UtilizationCounts, error) {
 // cell-isolation test can substitute a panicking implementation.
 var simulateCell = runCell
 
+// cellSpec is one fully resolved simulation cell: the workload, the
+// machine configuration, and the build parameters the workload's SPMD
+// program is generated with. It is the shared front half of runCell and
+// VetCell, so the program the verifier sees is exactly the program the
+// simulator runs.
+type cellSpec struct {
+	w       *workloads.Workload
+	cfg     core.Config
+	threads int
+	params  workloads.Params
+}
+
+// resolveCell validates one (workload, machine, options) triple and
+// resolves it to a cellSpec.
+func resolveCell(workload string, m Machine, opt Options) (cellSpec, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return cellSpec{}, err
+	}
+	cfg, threads, err := machineConfig(m, opt)
+	if err != nil {
+		return cellSpec{}, err
+	}
+	scalarOnly := m == MachineCMT || m == MachineVLTScalar
+	if scalarOnly && w.Class != workloads.ScalarParallel {
+		return cellSpec{}, fmt.Errorf(
+			"vlt: workload %q needs a vector unit; machine %q has none", workload, m)
+	}
+	return cellSpec{
+		w:       w,
+		cfg:     cfg,
+		threads: threads,
+		params: workloads.Params{
+			Threads: threads, Scale: opt.Scale,
+			ScalarOnly: scalarOnly, NoLaneReclaim: opt.NoLaneReclaim,
+		},
+	}, nil
+}
+
+// CellKey returns the content-addressed fingerprint of one simulation
+// cell — the key the engine memoizes by. Fully resolved equivalent
+// requests (e.g. Lanes 0 and Lanes 8 on the base machine) share a key,
+// and any option that can change the simulated program or the reported
+// result separates keys. Long-lived callers (cmd/vltd's response cache)
+// key their own storage by it so a cached entry is exactly one engine
+// cell.
+func CellKey(workload string, m Machine, opt Options) (string, error) {
+	if _, err := workloads.ByName(workload); err != nil {
+		return "", err
+	}
+	return fingerprint(workload, m, opt)
+}
+
+// VetCell builds exactly the program the named cell would simulate and
+// runs the static verifier (asm.Program.Vet) over it. It returns nil
+// for a clean program and a *vet.Error otherwise; callers render the
+// findings with report.Diagnose. The serving layer vets every request
+// before admitting it to simulation.
+func VetCell(workload string, m Machine, opt Options) error {
+	spec, err := resolveCell(workload, m, opt)
+	if err != nil {
+		return err
+	}
+	return spec.w.Build(spec.params).VetErr()
+}
+
 // runCell simulates one cell on a private Machine and returns the public
 // result plus the raw Figure-4 utilization census. It is the single
 // simulation entry point under the engine (Run delegates here), and it
 // is goroutine-safe: all shared package state (workload registry, ISA
 // tables) is immutable after init.
 func runCell(workload string, m Machine, opt Options) (Result, UtilizationCounts, error) {
-	w, err := workloads.ByName(workload)
+	spec, err := resolveCell(workload, m, opt)
 	if err != nil {
 		return Result{}, UtilizationCounts{}, err
 	}
-	cfg, threads, err := machineConfig(m, opt)
-	if err != nil {
-		return Result{}, UtilizationCounts{}, err
-	}
-	scalarOnly := m == MachineCMT || m == MachineVLTScalar
-	if scalarOnly && w.Class != workloads.ScalarParallel {
-		return Result{}, UtilizationCounts{}, fmt.Errorf(
-			"vlt: workload %q needs a vector unit; machine %q has none", workload, m)
-	}
-	p := workloads.Params{
-		Threads: threads, Scale: opt.Scale,
-		ScalarOnly: scalarOnly, NoLaneReclaim: opt.NoLaneReclaim,
-	}
+	w, cfg, threads, p := spec.w, spec.cfg, spec.threads, spec.params
 	prog := w.Build(p)
 	machine, err := core.NewMachine(cfg, prog)
 	if err != nil {

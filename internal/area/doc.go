@@ -1,0 +1,7 @@
+// Package area implements the paper's first-order area model (Section
+// 4.2). Component areas are the paper's Table 1 estimates, derived from
+// Alpha-family die photos scaled to 0.10 µm CMOS; configuration overheads
+// (Table 2) are arithmetic over those components plus the published SMT
+// area penalties (6% for 2-way, 10% for 4-way multithreading within a
+// scalar processor).
+package area

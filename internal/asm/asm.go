@@ -1,11 +1,3 @@
-// Package asm provides a programmatic assembler for the ISA in
-// internal/isa. Workloads build programs with a Builder: emitting
-// instructions through typed helpers, binding labels for control flow, and
-// allocating initialized data in the program's memory image.
-//
-// Programs are SPMD: every thread runs the same code. By convention the
-// functional simulator (internal/vm) presets RegTID with the thread id and
-// RegNTH with the thread count before the first instruction executes.
 package asm
 
 import (

@@ -1,0 +1,13 @@
+// Package asm provides a programmatic assembler for the ISA in
+// internal/isa. Workloads build programs with a Builder: emitting
+// instructions through typed helpers, binding labels for control flow, and
+// allocating initialized data in the program's memory image.
+//
+// Programs are SPMD: every thread runs the same code. By convention the
+// functional simulator (internal/vm) presets RegTID with the thread id and
+// RegNTH with the thread count before the first instruction executes.
+//
+// Key types: Builder (emission API), Program (assembled code plus memory
+// image), and Program.Vet, which runs the internal/vet static verifier
+// over the assembled image before simulation admits it.
+package asm

@@ -1,0 +1,7 @@
+// Package core assembles the full machine model: scalar units, the vector
+// control logic and lanes, lane cores for scalar threads, the shared
+// memory system, barrier coordination and VLT lane repartitioning. It is
+// the paper's contribution — the machinery that lets idle vector lanes
+// run short-vector or scalar threads — plus the experiment-facing
+// configurations of Sections 4, 5 and 7.
+package core

@@ -1,15 +1,3 @@
-// Package guard hardens the simulation core: a forward-progress watchdog
-// that turns livelock and deadlock into typed, diagnosable errors, a
-// runtime invariant auditor that cross-checks the timing models' internal
-// accounting while they run, and a fault-injection hook that lets tests
-// prove both actually fire.
-//
-// The paper's proprietary X1 simulator was validated against real
-// hardware; this rebuild has no such oracle, so the guard machinery is the
-// substitute: any drift between a structure's occupancy and its counters,
-// any stuck scoreboard entry or lost completion, aborts the run loudly
-// with the cycle, the structure and a full pipeline dump instead of
-// corrupting a figure or hanging forever.
 package guard
 
 import (

@@ -1,14 +1,3 @@
-// Package lane implements the timing model of a vector lane re-engineered
-// to run a scalar thread (Section 5 of the paper): a 2-way in-order core
-// built from the lane's existing resources (3 arithmetic datapaths, 2
-// memory ports, the vector register file partition repurposed as a 4 KB
-// instruction cache). There is no data cache: loads and stores access the
-// shared L2 directly, and the lane's existing address queues decouple
-// loads from dependent consumers (in-order issue, out-of-order
-// completion).
-//
-// Instruction-cache misses are forwarded through the scalar unit, which
-// adds a fixed service overhead on top of the L2 access.
 package lane
 
 import (

@@ -1,0 +1,26 @@
+// Package lint enforces the simulator's determinism contract on its own
+// Go source, using only the standard library (go/ast, go/parser,
+// go/types). The north-star result of this repository — byte-stable
+// simulation output under heavy parallel traffic — holds only if the
+// sim core never consults a nondeterministic source. The contract:
+//
+//   - no wall-clock reads (time.Now and friends) inside the simulation
+//     core packages;
+//   - no math/rand (seeded or not) inside the core: all pseudo-random
+//     data generation lives in workloads with fixed seeds;
+//   - no range over a map inside the core: map iteration order is
+//     randomized by the runtime, so every iteration must go through
+//     sorted keys (the one sanctioned helper carries an ignore
+//     directive);
+//   - no goroutine spawns anywhere outside internal/runner: all
+//     concurrency is confined to one audited worker pool.
+//
+// A finding can be suppressed with a trailing or preceding comment of
+// the form "//vltlint:ignore <rule>"; the directive is part of the
+// contract's audit trail, not an escape hatch.
+//
+// Beyond determinism, CheckDocs enforces the documentation contract
+// (rule "pkg-doc"): every internal/* package carries a doc.go with a
+// package doc comment. Key types: Finding (one violation, with file,
+// position, rule and message) and the Rule* name constants.
+package lint

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// RuleDocGo is the rule name for the package-documentation check.
+const RuleDocGo = "pkg-doc"
+
+// CheckDocs enforces the documentation contract: every package under
+// internal/ that contains non-test Go source must carry a doc.go file
+// whose package clause has a doc comment. Keeping the package comment in
+// a dedicated doc.go (rather than on an arbitrary source file) makes it
+// obvious where to read and where to edit, and stops the comment from
+// silently disappearing when its host file is split or deleted.
+//
+// root must be the module root. Findings are sorted by file path.
+func CheckDocs(root string) ([]Finding, error) {
+	internal := filepath.Join(root, "internal")
+	entries, err := os.ReadDir(internal)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rel := filepath.ToSlash(filepath.Join("internal", e.Name()))
+		dir := filepath.Join(internal, e.Name())
+		ok, err := hasGoFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		f, err := checkPackageDoc(rel, dir)
+		if err != nil {
+			return nil, err
+		}
+		if f != nil {
+			findings = append(findings, *f)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].File < findings[j].File })
+	return findings, nil
+}
+
+// checkPackageDoc inspects one package directory and returns a finding if
+// it lacks a documented doc.go, or nil if the contract holds.
+func checkPackageDoc(rel, dir string) (*Finding, error) {
+	docPath := filepath.Join(dir, "doc.go")
+	relDoc := filepath.ToSlash(filepath.Join(rel, "doc.go"))
+	if _, err := os.Stat(docPath); err != nil {
+		if os.IsNotExist(err) {
+			return &Finding{
+				File: relDoc, Line: 1, Col: 1, Rule: RuleDocGo,
+				Msg: "package has no doc.go; add one with a package doc comment",
+			}, nil
+		}
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, docPath, nil, parser.ParseComments|parser.PackageClauseOnly)
+	if err != nil {
+		return nil, err
+	}
+	if f.Doc == nil || strings.TrimSpace(f.Doc.Text()) == "" {
+		pos := fset.Position(f.Package)
+		return &Finding{
+			File: relDoc, Line: pos.Line, Col: pos.Column, Rule: RuleDocGo,
+			Msg: "doc.go has no package doc comment",
+		}, nil
+	}
+	return nil, nil
+}

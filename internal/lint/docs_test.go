@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckDocsRepo is the live gate: the repository itself must satisfy
+// the documentation contract.
+func TestCheckDocsRepo(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := CheckDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestCheckDocsViolations exercises the three failure shapes against a
+// synthetic module tree: missing doc.go, doc.go without a comment, and a
+// documented package that must pass.
+func TestCheckDocsViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/nodoc/nodoc.go":     "package nodoc\n",
+		"internal/baredoc/doc.go":     "package baredoc\n",
+		"internal/baredoc/code.go":    "package baredoc\n",
+		"internal/gooddoc/doc.go":     "// Package gooddoc is documented.\npackage gooddoc\n",
+		"internal/gooddoc/code.go":    "package gooddoc\n",
+		"internal/testonly/x_test.go": "package testonly\n",
+		"internal/empty/README":       "no go files here\n",
+	})
+
+	findings, err := CheckDocs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%v", len(findings), findings)
+	}
+	// Sorted by file path: baredoc before nodoc.
+	if f := findings[0]; f.Rule != RuleDocGo || f.File != "internal/baredoc/doc.go" ||
+		!strings.Contains(f.Msg, "no package doc comment") {
+		t.Errorf("baredoc finding = %s", f)
+	}
+	if f := findings[1]; f.Rule != RuleDocGo || f.File != "internal/nodoc/doc.go" ||
+		!strings.Contains(f.Msg, "no doc.go") {
+		t.Errorf("nodoc finding = %s", f)
+	}
+}
+
+// TestCheckDocsNoInternal pins the error path when root has no internal
+// directory at all.
+func TestCheckDocsNoInternal(t *testing.T) {
+	if _, err := CheckDocs(t.TempDir()); err == nil {
+		t.Fatal("expected an error for a root without internal/")
+	}
+}

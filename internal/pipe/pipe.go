@@ -1,6 +1,3 @@
-// Package pipe holds the types shared between the timing pipelines: the
-// in-flight micro-op record used by the scalar units, the vector control
-// logic and the lane cores, and a bimodal branch predictor.
 package pipe
 
 import (

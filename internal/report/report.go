@@ -1,6 +1,3 @@
-// Package report renders fixed-width text tables for the experiment
-// harness (cmd/vltexp, cmd/vltarea) and the String methods of the public
-// experiment result types.
 package report
 
 import (

@@ -1,0 +1,15 @@
+// Package runner provides a bounded worker pool with a content-addressed
+// memoization cache. It is the execution engine behind the experiment
+// drivers in the root vlt package: independent deterministic simulations
+// are submitted as keyed jobs, fan out across up to Workers goroutines,
+// and each unique key executes exactly once per pool — later submissions
+// of the same key share the first submission's result.
+//
+// Two front-ends share that machinery. Pool memoizes every key for the
+// life of the pool — right for experiment grids, where one cell's result
+// is reused across tables and figures. Flight is a single-flight variant
+// that coalesces concurrent submissions of the same key onto one
+// execution but forgets the key on completion — right for the serving
+// daemon (internal/serve), which layers its own bounded-byte LRU cache
+// on top and must not grow without bound.
+package runner

@@ -1,9 +1,3 @@
-// Package runner provides a bounded worker pool with a content-addressed
-// memoization cache. It is the execution engine behind the experiment
-// drivers in the root vlt package: independent deterministic simulations
-// are submitted as keyed jobs, fan out across up to Workers goroutines,
-// and each unique key executes exactly once per pool — later submissions
-// of the same key share the first submission's result.
 package runner
 
 import (

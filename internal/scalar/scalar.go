@@ -1,19 +1,3 @@
-// Package scalar implements the timing model of the scalar unit (SU): a
-// wide-issue, out-of-order, speculative superscalar processor with L1
-// instruction and data caches and optional simultaneous multithreading.
-// It follows the paper's Table 3: 4-way fetch/issue/retire, 64-entry
-// instruction window and reorder buffer, 4 arithmetic units, 2 memory
-// ports, 16 KB 2-way L1 caches (a 2-way SU halves every resource).
-//
-// The SU fetches both scalar and vector instructions. Vector instructions
-// are tracked in the reorder buffer for precise exceptions and handed to
-// the vector control logic's instruction queue at dispatch; scalar
-// instructions rename implicitly (last-writer tracking with a window-
-// bounded number of in-flight destinations) and issue out of order.
-//
-// The functional simulator is the fetch stage: vm.Step executes the
-// architecturally correct path, and the branch predictor decides only how
-// much fetch time speculation would have cost.
 package scalar
 
 import (

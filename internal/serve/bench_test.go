@@ -1,0 +1,46 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchGet issues one /v1/run request through the full handler stack
+// and fails the benchmark on any non-200.
+func benchGet(b *testing.B, s *Server, target string) {
+	b.Helper()
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+const benchTarget = "/v1/run?workload=mxm&machine=base"
+
+// BenchmarkServeCellHot measures the cache-hit path: request parsing,
+// fingerprinting, the LRU lookup and the response write — no
+// simulation. This is the daemon's steady-state cost per served cell.
+func BenchmarkServeCellHot(b *testing.B) {
+	s := New(Config{})
+	benchGet(b, s, benchTarget) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchGet(b, s, benchTarget)
+	}
+}
+
+// BenchmarkServeCellCold measures the cache-miss path: vet, admission,
+// one full simulation, rendering and cache fill. The hot/cold ratio is
+// the cache's value proposition; record both in results.txt.
+func BenchmarkServeCellCold(b *testing.B) {
+	s := New(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.Reset()
+		benchGet(b, s, benchTarget)
+	}
+}

@@ -1,0 +1,552 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"vlt"
+	"vlt/internal/report"
+	"vlt/internal/runner"
+	"vlt/internal/stats"
+	"vlt/internal/vet"
+	"vlt/internal/workloads"
+)
+
+// Config tunes a Server. The zero value is fully usable: every field
+// has a production default applied by New.
+type Config struct {
+	// Jobs bounds the number of simulations executing concurrently
+	// (0 = GOMAXPROCS). An experiment request occupies one job slot but
+	// fans its cells out over its own engine at the same width.
+	Jobs int
+	// MaxPending bounds the number of distinct requests admitted and
+	// not yet finished — executing or waiting for a job slot. Beyond
+	// it, new work is shed with 429 (0 = 4x Jobs). Coalescing onto an
+	// in-flight request always succeeds.
+	MaxPending int
+	// CacheBytes is the response cache's byte budget (0 = 64 MiB).
+	CacheBytes int64
+	// Timeout is the default per-request deadline; a request may lower
+	// (never raise) it with timeout_ms (0 = 60s).
+	Timeout time.Duration
+	// RetryAfter is the backoff hint sent with 429 responses (0 = 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPending <= 0 {
+		j := c.Jobs
+		if j <= 0 {
+			j = runtime.GOMAXPROCS(0)
+		}
+		c.MaxPending = 4 * j
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Server serves simulation and experiment requests over the vlt engine
+// layers. Construct with New, mount Handler on an http.Server, and
+// drain with the http.Server's Shutdown: every admitted simulation runs
+// synchronously inside its handler, so draining HTTP requests drains
+// simulations.
+type Server struct {
+	cfg    Config
+	cache  *cache
+	flight *runner.Flight[string, []byte]
+	reg    *stats.Registry
+	mux    *http.ServeMux
+	start  time.Time
+
+	mu       sync.Mutex
+	requests uint64 // HTTP requests served, by endpoint outcome
+	failures uint64 // responses with a status >= 400
+
+	// Simulation and verification entry points, indirect so the test
+	// suite can substitute blocking or failing implementations to pin
+	// admission-control and error-path behaviour deterministically.
+	runCell func(workload string, m vlt.Machine, opt vlt.Options) (vlt.Result, error)
+	vetCell func(workload string, m vlt.Machine, opt vlt.Options) error
+}
+
+// New builds a Server with its cache, flight group and metric registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newCache(cfg.CacheBytes),
+		flight:  runner.NewFlight[string, []byte](cfg.Jobs, cfg.MaxPending),
+		reg:     stats.New(),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		runCell: func(w string, m vlt.Machine, o vlt.Options) (vlt.Result, error) { return vlt.Run(w, m, o) },
+		vetCell: vlt.VetCell,
+	}
+	scope := s.reg.Scope("serve")
+	s.cache.register(scope.Scope("cache"))
+	flight := scope.Scope("flight")
+	flight.CounterFn("submitted", func() uint64 { return uint64(s.flight.Stats().Submitted) })
+	flight.CounterFn("coalesced", func() uint64 { return uint64(s.flight.Stats().Coalesced) })
+	flight.CounterFn("executed", func() uint64 { return uint64(s.flight.Stats().Executed) })
+	flight.CounterFn("rejected", func() uint64 { return uint64(s.flight.Stats().Rejected) })
+	flight.CounterFn("inflight", func() uint64 { return uint64(s.flight.Inflight()) })
+	httpScope := scope.Scope("http")
+	httpScope.CounterFn("requests", func() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.requests })
+	httpScope.CounterFn("failures", func() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.failures })
+	scope.Gauge("uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+
+	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/experiment", s.handleExperiment)
+	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/v1/machines", s.handleMachines)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's metric registry (the /metricsz source).
+func (s *Server) Registry() *stats.Registry { return s.reg }
+
+// apiError is the typed JSON error envelope: a stable machine-readable
+// code, a one-line message, and — for simulation and verification
+// failures — the full report.Diagnose text.
+type apiError struct {
+	status     int    // HTTP status, not serialized
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	Diagnostic string `json:"diagnostic,omitempty"`
+}
+
+// Error codes carried by apiError.Code.
+const (
+	codeBadRequest = "bad_request"
+	codeNotFound   = "not_found"
+	codeVetFailed  = "vet_failed"
+	codeOverloaded = "overloaded"
+	codeTimeout    = "timeout"
+	codeSimFailed  = "simulation_failed"
+)
+
+func (s *Server) count(status int) {
+	s.mu.Lock()
+	s.requests++
+	if status >= 400 {
+		s.failures++
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) writeError(w http.ResponseWriter, e apiError) {
+	body, _ := json.Marshal(struct {
+		Error apiError `json:"error"`
+	}{e})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	w.Write(append(body, '\n'))
+	s.count(e.status)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, apiError{status: http.StatusInternalServerError,
+			Code: codeSimFailed, Message: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+	s.count(http.StatusOK)
+}
+
+// writeBody sends a cached or freshly rendered response body, labelling
+// the cache outcome in a header (the body itself is byte-identical
+// either way — that is the cache's contract).
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, cached bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-VLT-Cache", "hit")
+	} else {
+		w.Header().Set("X-VLT-Cache", "miss")
+	}
+	w.Write(body)
+	s.count(http.StatusOK)
+}
+
+// serveKeyed is the shared admission path of /v1/run and /v1/experiment:
+// cache lookup, an optional pre-admission check on the miss path (the
+// run endpoint vets the program there), single-flight coalescing, load
+// shedding at the pending bound, and a deadline on the wait (never on
+// the execution — an abandoned job still completes and populates the
+// cache).
+func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key string,
+	precheck func() *apiError, render func() ([]byte, error)) {
+	if body, ok := s.cache.Get(key); ok {
+		s.writeBody(w, body, true)
+		return
+	}
+	if precheck != nil {
+		if e := precheck(); e != nil {
+			s.writeError(w, *e)
+			return
+		}
+	}
+	task, _, admitted := s.flight.TrySubmit(key, func() ([]byte, error) {
+		body, err := render()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, body)
+		return body, nil
+	})
+	if !admitted {
+		retry := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.writeError(w, apiError{status: http.StatusTooManyRequests, Code: codeOverloaded,
+			Message: fmt.Sprintf("at capacity: %d requests in flight; retry after %ds",
+				s.flight.Inflight(), retry)})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(r))
+	defer cancel()
+	body, err := task.WaitContext(ctx)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, apiError{status: http.StatusGatewayTimeout, Code: codeTimeout,
+			Message: fmt.Sprintf("deadline of %s exceeded; the simulation continues and will be cached", s.timeout(r))})
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+		s.count(http.StatusGatewayTimeout)
+	case err != nil:
+		s.writeError(w, apiError{status: http.StatusInternalServerError, Code: codeSimFailed,
+			Message: firstLine(err.Error()), Diagnostic: report.Diagnose("vltd", err)})
+	default:
+		s.writeBody(w, body, false)
+	}
+}
+
+// timeout resolves a request's wait deadline: the server default,
+// lowered (never raised) by a timeout_ms query parameter.
+func (s *Server) timeout(r *http.Request) time.Duration {
+	d := s.cfg.Timeout
+	if ms, err := strconv.Atoi(r.URL.Query().Get("timeout_ms")); err == nil && ms > 0 {
+		if req := time.Duration(ms) * time.Millisecond; req < d {
+			d = req
+		}
+	}
+	return d
+}
+
+// RunRequest is one /v1/run request: a single workload x machine cell.
+// GET encodes it as query parameters, POST as this JSON object.
+type RunRequest struct {
+	Workload   string `json:"workload"`
+	Machine    string `json:"machine"`
+	Scale      int    `json:"scale,omitempty"`
+	Lanes      int    `json:"lanes,omitempty"`
+	Threads    int    `json:"threads,omitempty"`
+	SkipVerify bool   `json:"skip_verify,omitempty"`
+}
+
+// UtilizationPct mirrors vlt.Utilization with JSON tags.
+type UtilizationPct struct {
+	BusyPct     float64 `json:"busy_pct"`
+	PartIdlePct float64 `json:"part_idle_pct"`
+	StalledPct  float64 `json:"stalled_pct"`
+	AllIdlePct  float64 `json:"all_idle_pct"`
+}
+
+// RunResponse is one /v1/run result: the headline timing plus the full
+// metric registry snapshot of the simulated machine.
+type RunResponse struct {
+	Workload   string         `json:"workload"`
+	Machine    string         `json:"machine"`
+	Threads    int            `json:"threads"`
+	Cycles     uint64         `json:"cycles"`
+	Retired    uint64         `json:"retired"`
+	VecIssued  uint64         `json:"vec_issued"`
+	VecElemOps uint64         `json:"vec_elem_ops"`
+	IPC        float64        `json:"ipc"`
+	Util       UtilizationPct `json:"util"`
+	Verified   bool           `json:"verified"`
+	Metrics    vlt.Metrics    `json:"metrics"`
+}
+
+func (s *Server) parseRunRequest(r *http.Request) (RunRequest, *apiError) {
+	var req RunRequest
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return req, &apiError{status: http.StatusBadRequest, Code: codeBadRequest,
+				Message: "bad JSON body: " + err.Error()}
+		}
+	} else {
+		q := r.URL.Query()
+		req.Workload = q.Get("workload")
+		req.Machine = q.Get("machine")
+		for _, f := range []struct {
+			name string
+			dst  *int
+		}{{"scale", &req.Scale}, {"lanes", &req.Lanes}, {"threads", &req.Threads}} {
+			v := q.Get(f.name)
+			if v == "" {
+				continue
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return req, &apiError{status: http.StatusBadRequest, Code: codeBadRequest,
+					Message: fmt.Sprintf("bad %s %q: want a non-negative integer", f.name, v)}
+			}
+			*f.dst = n
+		}
+		req.SkipVerify = q.Get("skip_verify") == "true" || q.Get("skip_verify") == "1"
+	}
+	if req.Workload == "" {
+		return req, &apiError{status: http.StatusBadRequest, Code: codeBadRequest,
+			Message: "missing workload (try /v1/workloads for the list)"}
+	}
+	if req.Machine == "" {
+		req.Machine = string(vlt.MachineBase)
+	}
+	return req, nil
+}
+
+func (req RunRequest) options() vlt.Options {
+	return vlt.Options{
+		Scale: req.Scale, Lanes: req.Lanes, Threads: req.Threads,
+		SkipVerify: req.SkipVerify,
+	}
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	req, aerr := s.parseRunRequest(r)
+	if aerr != nil {
+		s.writeError(w, *aerr)
+		return
+	}
+	m, opt := vlt.Machine(req.Machine), req.options()
+	key, err := vlt.CellKey(req.Workload, m, opt)
+	if err != nil {
+		s.writeError(w, apiError{status: http.StatusBadRequest, Code: codeBadRequest,
+			Message: err.Error()})
+		return
+	}
+	// A cache hit replays a response whose cell already passed both the
+	// static verifier and (unless skipped) the functional check, so the
+	// vet runs only on the miss path.
+	vetCheck := func() *apiError {
+		if err := s.vetCell(req.Workload, m, opt); err != nil {
+			var ve *vet.Error
+			if errors.As(err, &ve) {
+				return &apiError{status: http.StatusUnprocessableEntity, Code: codeVetFailed,
+					Message: firstLine(err.Error()), Diagnostic: report.Diagnose("vltd", err)}
+			}
+			return &apiError{status: http.StatusBadRequest, Code: codeBadRequest,
+				Message: err.Error()}
+		}
+		return nil
+	}
+	s.serveKeyed(w, r, key, vetCheck, func() ([]byte, error) {
+		res, err := s.runCell(req.Workload, m, opt)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(RunResponse{
+			Workload:   res.Workload,
+			Machine:    string(res.Machine),
+			Threads:    res.Threads,
+			Cycles:     res.Cycles,
+			Retired:    res.Retired,
+			VecIssued:  res.VecIssued,
+			VecElemOps: res.VecElemOps,
+			IPC:        res.IPC(),
+			Util: UtilizationPct{
+				BusyPct:     res.Util.BusyPct,
+				PartIdlePct: res.Util.PartIdlePct,
+				StalledPct:  res.Util.StalledPct,
+				AllIdlePct:  res.Util.AllIdlePct,
+			},
+			Verified: res.Verified,
+			Metrics:  res.Metrics,
+		})
+	})
+}
+
+// ExperimentResponse is one /v1/experiment result: the dataset the
+// driver computed plus its rendered table.
+type ExperimentResponse struct {
+	Name  string `json:"name"`
+	Scale int    `json:"scale"`
+	Data  any    `json:"data,omitempty"`
+	Text  string `json:"text"`
+}
+
+// experimentNames lists the figure/table drivers servable by name,
+// sorted (also the order reported on a bad name).
+func experimentNames() []string {
+	names := make([]string, 0, len(experiments))
+	for n := range experiments {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// experiments maps names to drivers. Each driver runs on a fresh
+// bounded engine so its cells parallelize and its memo dies with the
+// request; the response cache provides cross-request reuse.
+var experiments = map[string]func(eng *vlt.Engine, scale int) (any, string, error){
+	"table1": func(*vlt.Engine, int) (any, string, error) { return vlt.Table1(), vlt.Table1String(), nil },
+	"table2": func(*vlt.Engine, int) (any, string, error) { return vlt.Table2(), vlt.Table2String(), nil },
+	"table3": func(*vlt.Engine, int) (any, string, error) { return nil, vlt.Table3String(), nil },
+	"table4": func(eng *vlt.Engine, scale int) (any, string, error) {
+		rows, err := eng.Table4(scale)
+		if err != nil {
+			return nil, "", err
+		}
+		text, err := eng.Table4String(scale)
+		return rows, text, err
+	},
+	"figure1": func(eng *vlt.Engine, scale int) (any, string, error) {
+		d, err := eng.Figure1(scale)
+		return d, d.String(), err
+	},
+	"figure3": func(eng *vlt.Engine, scale int) (any, string, error) {
+		d, err := eng.Figure3(scale)
+		return d, d.String(), err
+	},
+	"figure4": func(eng *vlt.Engine, scale int) (any, string, error) {
+		d, err := eng.Figure4(scale)
+		return d, d.String(), err
+	},
+	"figure5": func(eng *vlt.Engine, scale int) (any, string, error) {
+		d, err := eng.Figure5(scale)
+		return d, d.String(), err
+	},
+	"figure6": func(eng *vlt.Engine, scale int) (any, string, error) {
+		d, err := eng.Figure6(scale)
+		return d, d.String(), err
+	},
+	"ext16lanes": func(eng *vlt.Engine, scale int) (any, string, error) {
+		d, err := eng.Extension16Lanes(scale)
+		return d, d.String(), err
+	},
+	"extphase": func(eng *vlt.Engine, scale int) (any, string, error) {
+		d, err := eng.ExtensionPhaseSwitching(scale)
+		return d, d.String(), err
+	},
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	driver, ok := experiments[name]
+	if !ok {
+		status, code := http.StatusNotFound, codeNotFound
+		if name == "" {
+			status, code = http.StatusBadRequest, codeBadRequest
+		}
+		s.writeError(w, apiError{status: status, Code: code,
+			Message: fmt.Sprintf("unknown experiment %q; have %s",
+				name, strings.Join(experimentNames(), ", "))})
+		return
+	}
+	scale := 1
+	if v := q.Get("scale"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.writeError(w, apiError{status: http.StatusBadRequest, Code: codeBadRequest,
+				Message: fmt.Sprintf("bad scale %q: want a positive integer", v)})
+			return
+		}
+		scale = n
+	}
+	key := fmt.Sprintf("experiment|%s|scale=%d", name, scale)
+	s.serveKeyed(w, r, key, nil, func() ([]byte, error) {
+		data, text, err := driver(vlt.NewEngine(s.cfg.Jobs), scale)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(ExperimentResponse{Name: name, Scale: scale, Data: data, Text: text})
+	})
+}
+
+// WorkloadInfo describes one servable workload (/v1/workloads).
+type WorkloadInfo struct {
+	Name        string `json:"name"`
+	Class       string `json:"class"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []WorkloadInfo
+	for _, wl := range workloads.All() {
+		out = append(out, WorkloadInfo{
+			Name:        wl.Name,
+			Class:       wl.Class.String(),
+			Description: wl.Description,
+		})
+	}
+	s.writeJSON(w, struct {
+		Workloads []WorkloadInfo `json:"workloads"`
+	}{out})
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(vlt.Machines()))
+	for _, m := range vlt.Machines() {
+		names = append(names, string(m))
+	}
+	s.writeJSON(w, struct {
+		Machines []string `json:"machines"`
+	}{names})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Inflight      int     `json:"inflight"`
+	}{"ok", time.Since(s.start).Seconds(), s.flight.Inflight()})
+}
+
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.reg.Snapshot().String())
+	s.count(http.StatusOK)
+}
+
+// marshalBody renders a response body once; the same bytes are cached
+// and served, keeping hot and cold responses byte-identical.
+func marshalBody(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

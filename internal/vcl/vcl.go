@@ -1,14 +1,3 @@
-// Package vcl implements the timing model of the vector control logic and
-// the multi-lane vector unit datapaths: the vector instruction queue,
-// implicit vector register renaming, the vector instruction window with
-// out-of-order issue and chaining, per-lane functional-unit occupancy, and
-// the datapath utilization accounting behind the paper's Figure 4.
-//
-// Vector Lane Threading appears here as partitions: the lanes are divided
-// into equal groups, each owned by one software thread. Resources (VIQ and
-// window entries, issue slots) are statically partitioned across the
-// groups, the design point the paper found performs as well as a fully
-// replicated VCL.
 package vcl
 
 import (

@@ -1,0 +1,29 @@
+// Package vet statically verifies assembled VLT programs before they
+// reach a simulator. It is the stand-in for the verification passes a
+// production vector toolchain runs over compiler output: the assembler
+// (internal/asm) only checks that a program is well-formed, while vet
+// proves — or refuses to prove — that it is plausible to execute.
+//
+// The pipeline builds a control-flow graph from the instruction stream
+// and runs five analyses over it:
+//
+//   - structural checks: branch targets inside the image, no fallthrough
+//     off the image end, no unreachable blocks;
+//   - per-block def-use: a register read that no path defines
+//     (use-before-def) and pure arithmetic writes no path reads
+//     (dead-write, via global liveness);
+//   - vector-length verification: every vector instruction must be
+//     provably preceded by a SETVL on all paths, and the SETVL operand
+//     must be provably nonzero so 1 <= VL <= MaxVL holds;
+//   - static memory bounds for the addressing modes the workloads use
+//     (unit-stride, strided, gather) whenever the base address, stride or
+//     index vector is statically known;
+//   - alignment of statically known addresses and strides (the machine
+//     has no sub-word accesses).
+//
+// vet is a verifier, not a bug finder: a finding either pinpoints a
+// provable fault (branch out of range, VL provably zero, address
+// provably out of bounds) or a failure to prove a required property
+// (VL not set on some path). Programs with no findings are "vet clean";
+// all nine workload kernels must assemble vet clean.
+package vet

@@ -1,16 +1,3 @@
-// Package vm implements the functional (architectural) simulator for the
-// ISA in internal/isa. It executes SPMD programs built with internal/asm:
-// every thread runs the same code against a shared memory image.
-//
-// The functional simulator is the source of truth for program semantics.
-// The timing models (internal/scalar, internal/vcl, internal/lane,
-// internal/core) call Step as their fetch stage: each call executes exactly
-// one instruction for one thread and returns a Dyn record describing
-// everything timing needs (branch outcome, effective addresses, vector
-// length). Cross-thread ordering is therefore owned by the timing model;
-// the workloads only share data across barriers, which the timing models
-// release only after every thread has reached them, so lazy per-thread
-// functional execution is race-free by construction.
 package vm
 
 import (

@@ -1,16 +1,3 @@
-// Package workloads implements the nine benchmarks of the paper's Table 4
-// as execution-driven kernels in the simulated ISA. Each workload runs a
-// real algorithm on real data (results are verified against Go reference
-// implementations) and is calibrated so its dynamic instruction stream
-// matches the paper's published signature: percentage of vectorization,
-// average vector length, common vector lengths, and the fraction of
-// execution amenable to VLT ("% opportunity").
-//
-// The paper used PERFECT/NPB/SPLASH-2 binaries compiled by Cray's
-// production vectorizing compiler. Those binaries and that compiler are
-// unavailable, so the kernels here are hand-vectorized reimplementations
-// of each benchmark's dominant computation; see DESIGN.md for the
-// substitution argument.
 package workloads
 
 import (

@@ -28,8 +28,17 @@ echo "== fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzAssemble -fuzztime=5s ./internal/asm
 go test -run='^$' -fuzz=FuzzDecode -fuzztime=5s ./internal/isa
 
-echo "== vltlint ./... (simulator-core determinism lint)"
-go run ./cmd/vltlint ./...
+echo "== vltlint -docs ./... (determinism lint + doc.go per internal package)"
+go run ./cmd/vltlint -docs ./...
+
+echo "== docs gate (CLI.md documents every cmd/* binary)"
+for d in cmd/*/; do
+    name=$(basename "$d")
+    if ! grep -q "$name" CLI.md; then
+        echo "docs gate: CLI.md does not mention $name" >&2
+        exit 1
+    fi
+done
 
 echo "== vltvet (all nine workload kernels must be vet clean)"
 go run ./cmd/vltvet -workloads all -threads 4
@@ -53,5 +62,32 @@ printf '%s\n' "$bench" | awk '
             print "guard: vet overhead exceeds the 25% bound" > "/dev/stderr"; exit 1
         }
     }'
+
+echo "== vltd smoke (boot on an ephemeral port, healthz + one run, drained exit)"
+go build -o /tmp/vltd.check ./cmd/vltd
+/tmp/vltd.check -addr 127.0.0.1:0 >/tmp/vltd.check.out 2>&1 &
+vltd_pid=$!
+vltd_url=""
+for _ in $(seq 1 100); do
+    vltd_url=$(sed -n 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p' /tmp/vltd.check.out)
+    [ -n "$vltd_url" ] && break
+    sleep 0.05
+done
+if [ -z "$vltd_url" ]; then
+    echo "vltd smoke: daemon never printed its listen line" >&2
+    cat /tmp/vltd.check.out >&2
+    kill "$vltd_pid" 2>/dev/null || true
+    exit 1
+fi
+curl -fsS "$vltd_url/healthz" | grep -q '"status":"ok"'
+curl -fsS "$vltd_url/v1/run?workload=mxm&machine=base" | grep -q '"cycles"'
+kill -TERM "$vltd_pid"
+if ! wait "$vltd_pid"; then
+    echo "vltd smoke: daemon did not exit cleanly on SIGTERM" >&2
+    cat /tmp/vltd.check.out >&2
+    exit 1
+fi
+grep -q "shutdown complete" /tmp/vltd.check.out
+rm -f /tmp/vltd.check /tmp/vltd.check.out
 
 echo "check.sh: all gates passed"
