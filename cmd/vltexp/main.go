@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"sync"
 
 	"vlt"
@@ -54,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	progress := fs.Bool("progress", false, "report completed/total simulation cells on stderr")
 	stallLimit := fs.Uint64("stall-limit", 0, "abort a cell when no instruction retires for N cycles (0 = default)")
 	auditFlag := fs.String("audit", "auto", "invariant auditor: auto, on, off")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +87,35 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	if *fig == 0 && *tab == 0 && !*ext && !*jsonOut && *metricsFor == "" {
 		*all = true
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return usageErr("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return usageErr("-cpuprofile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "vltexp: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "vltexp: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	eng := vlt.NewEngine(*jobs)

@@ -28,7 +28,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 
 	"vlt/internal/asm"
@@ -69,6 +71,8 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	sample := fs.Uint64("sample", 0, "record the metric time series every N cycles and print it as CSV")
 	stallLimit := fs.Uint64("stall-limit", 0, "abort when no instruction retires for N cycles (0 = default)")
 	auditFlag := fs.String("audit", "auto", "invariant auditor: auto, on, off")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -97,6 +101,37 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		fmt.Fprintln(stderr, "vltrun:", err)
 		return 1
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "vltrun: -cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "vltrun: -cpuprofile:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(stderr, "vltrun: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "vltrun: -memprofile:", err)
+			}
+		}()
 	}
 
 	cfg, err := machineConfig(*machine, *lanes, *threads)

@@ -73,6 +73,13 @@ type Config struct {
 	// SampleMetrics selects the registry metrics to sample. Names not
 	// registered on this configuration are dropped silently.
 	SampleMetrics []string
+
+	// NoSkip disables event-driven cycle skipping: the machine ticks
+	// every cycle like the pre-event-driven simulator. Results are
+	// byte-identical either way (the differential tests enforce it); the
+	// switch exists for bisecting and for the check.sh bench guard. The
+	// VLT_NOSKIP environment variable (1/on/true) forces it globally.
+	NoSkip bool
 }
 
 // Validate checks structural consistency.

@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"io"
+	"os"
 	"sort"
+	"strings"
 
 	"vlt/internal/asm"
 	"vlt/internal/guard"
@@ -127,6 +129,17 @@ type Machine struct {
 	ring     *guard.Ring    // last retired instructions, for diagnostic dumps
 	frozen   bool           // stall injection fired: component clocks stop
 	injected bool           // the configured fault has been applied
+
+	noskip      bool   // event-driven cycle skipping disabled (Config.NoSkip / VLT_NOSKIP)
+	skipRetired uint64 // retiredTotal at the last skip attempt (quiescence gate)
+	coordOwners []int  // coordinate's scratch for repartition owner lists
+
+	// regionCur/regionPend batch the per-cycle region census: cycles
+	// accrue in regionPend while thread 0 stays in one region and flush
+	// to the regionCycles map only on region change or read, keeping
+	// the map write off the per-cycle path.
+	regionCur  int64
+	regionPend uint64
 }
 
 // SetTrace directs a retirement trace to w: one line per retired
@@ -156,6 +169,7 @@ func NewMachine(cfg Config, prog *asm.Program) (*Machine, error) {
 		l2:           mem.NewL2(cfg.L2),
 		region:       make([]int64, cfg.NumThreads),
 		regionCycles: make(map[int64]uint64),
+		noskip:       cfg.NoSkip || noskipEnv(),
 	}
 
 	if cfg.Lanes > 0 && !cfg.LaneScalarMode {
@@ -276,6 +290,7 @@ func (m *Machine) registerMetrics() {
 // order. Every iteration over the per-region cycle map goes through
 // this helper so results never depend on Go's randomized map order.
 func (m *Machine) regions() []int64 {
+	m.flushRegion()
 	ids := make([]int64, 0, len(m.regionCycles))
 	for id := range m.regionCycles { //vltlint:ignore map-range — keys sorted before use
 		ids = append(ids, id)
@@ -405,7 +420,10 @@ func (m *Machine) coordinate(now uint64) {
 			continue
 		}
 		n := u.Dyn.VltCfg
-		owners := make([]int, n)
+		if cap(m.coordOwners) < n {
+			m.coordOwners = make([]int, n)
+		}
+		owners := m.coordOwners[:n]
 		for i := range owners {
 			owners[i] = i
 		}
@@ -415,13 +433,143 @@ func (m *Machine) coordinate(now uint64) {
 	}
 }
 
+// noskipEnv reports whether the VLT_NOSKIP environment variable forces
+// cycle-by-cycle simulation (the bisecting escape hatch).
+func noskipEnv() bool {
+	switch strings.ToLower(os.Getenv("VLT_NOSKIP")) {
+	case "1", "on", "true":
+		return true
+	}
+	return false
+}
+
+// nextEventCycle computes the machine-wide event horizon after the
+// cycle body at now has fully run (ticks plus coordination): the
+// earliest future cycle at which any component could change state,
+// clamped to every machine-level boundary whose per-cycle bookkeeping
+// must observe exact cycle numbers — MaxCycles, the watchdog's stall
+// deadline, the audit cadence, sampling boundaries, an armed fault
+// injection, and the vector unit's drain cycle while a repartition
+// waits. A result of now+1 means no skip.
+func (m *Machine) nextEventCycle(now uint64) uint64 {
+	horizon := uint64(pipe.NeverDone)
+	clamp := func(c uint64) {
+		if c < horizon {
+			horizon = c
+		}
+	}
+	if m.vu != nil {
+		clamp(m.vu.NextEvent(now))
+	}
+	for _, su := range m.sus {
+		if horizon <= now+1 {
+			return now + 1
+		}
+		clamp(su.NextEvent(now))
+	}
+	for _, c := range m.lcs {
+		if horizon <= now+1 {
+			return now + 1
+		}
+		clamp(c.NextEvent(now))
+	}
+	if horizon <= now+1 {
+		return now + 1
+	}
+	clamp(m.l2.NextEvent(now))
+	if m.vu != nil && m.repartitionPending() {
+		d := m.vu.DrainCycle()
+		if d <= now {
+			d = now + 1
+		}
+		clamp(d)
+	}
+	// Machine-level deadlines. The watchdog and MaxCycles checks, the
+	// auditor and the sampler all run only on woken cycles, so no jump
+	// may cross their next boundary.
+	clamp(m.cfg.MaxCycles)
+	clamp(m.watchdog.Deadline())
+	if inj := m.cfg.Inject; inj.Kind != guard.InjectNone && !m.injected && inj.Cycle > now {
+		clamp(inj.Cycle)
+	}
+	if m.auditor != nil {
+		every := m.auditor.Every()
+		clamp(now - now%every + every)
+	}
+	if m.sampler != nil {
+		s := m.sampler.NextSample()
+		if s <= now {
+			s = now + 1
+		}
+		clamp(s)
+	}
+	if horizon < now+1 {
+		horizon = now + 1
+	}
+	return horizon
+}
+
+// repartitionPending reports whether any thread has a VLTCFG waiting at
+// its retire head — coordinate applies it the cycle the vector unit
+// drains, so that cycle is an event.
+func (m *Machine) repartitionPending() bool {
+	for t := 0; t < m.cfg.NumThreads; t++ {
+		loc := m.locs[t]
+		if loc.onLane {
+			continue
+		}
+		if m.sus[loc.unit].VltCfgWaiting(loc.slot) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// creditRegion charges n cycles to region r, batching consecutive
+// same-region credits in regionPend so the per-cycle path never
+// touches the regionCycles map (flushRegion folds the batch in).
+func (m *Machine) creditRegion(r int64, n uint64) {
+	if r != m.regionCur {
+		m.flushRegion()
+		m.regionCur = r
+	}
+	m.regionPend += n
+}
+
+// flushRegion folds the pending region credit into the map; every
+// reader of regionCycles goes through here first.
+func (m *Machine) flushRegion() {
+	if m.regionPend != 0 {
+		m.regionCycles[m.regionCur] += m.regionPend
+		m.regionPend = 0
+	}
+}
+
+// skipTo bulk-credits the per-cycle bookkeeping of the skipped
+// quiescent cycles [from, to): the region census charges thread 0's
+// current region once per cycle, and every component replays its own
+// idle accounting, so all exported metrics are byte-identical to a
+// ticked run.
+func (m *Machine) skipTo(from, to uint64) {
+	m.creditRegion(m.region[0], to-from)
+	if m.vu != nil {
+		m.vu.SkipIdle(from, to)
+	}
+	for _, su := range m.sus {
+		su.SkipIdle(from, to)
+	}
+	for _, c := range m.lcs {
+		c.SkipIdle(from, to)
+	}
+}
+
 // Run simulates to completion and returns the result, assembled from
 // the metric registry: every field that used to be hand-copied from a
 // component is now read back through its registered metric, so the
 // registry is the single source of truth for all exports.
 func (m *Machine) Run() (Result, error) {
 	var now uint64
-	for ; !m.done(); now++ {
+	for !m.done() {
 		m.now = now
 		if now >= m.cfg.MaxCycles {
 			return Result{}, m.stallError("max-cycles", now, m.cfg.MaxCycles)
@@ -445,7 +593,7 @@ func (m *Machine) Run() (Result, error) {
 			return Result{}, fmt.Errorf("core: %s: cycle %d: %w", m.cfg.Name, now, err)
 		}
 		m.coordinate(now)
-		m.regionCycles[m.region[0]]++
+		m.creditRegion(m.region[0], 1)
 		m.applyInjection(now, false)
 		if m.auditor != nil {
 			if aerr := m.auditor.Check(now); aerr != nil {
@@ -457,8 +605,30 @@ func (m *Machine) Run() (Result, error) {
 		if m.sampler != nil {
 			m.sampler.Tick(now)
 		}
+		// Event-driven advance (DESIGN.md §11): when every component
+		// agrees nothing can change state before some future cycle, jump
+		// there in one step, bulk-crediting the skipped quiescent span's
+		// per-cycle bookkeeping. Frozen machines (stall injection) keep
+		// ticking cycle-by-cycle.
+		next := now + 1
+		if !m.noskip && !m.frozen {
+			// Computing the jump target is a full component scan —
+			// pure overhead on busy cycles, where the next event is
+			// now+1 anyway. A cycle that retired instructions is busy,
+			// so only quiescent cycles (no retirement anywhere since
+			// the last attempt) look for a jump; an idle span starts
+			// paying the scan from its first fully quiet cycle.
+			if retired := m.retiredTotal(); retired != m.skipRetired {
+				m.skipRetired = retired
+			} else if target := m.nextEventCycle(now); target > next && !m.done() {
+				m.skipTo(next, target)
+				next = target
+			}
+		}
+		now = next
 	}
 	m.now = now // the registry's machine.cycles reads the final count
+	m.flushRegion()
 
 	snap := m.reg.Snapshot()
 	res := Result{

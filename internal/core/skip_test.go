@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSamplerRowsUnaffectedBySkipping pins the interaction between the
+// event-driven scheduler and the time-series sampler: a cycle jump must
+// stop at every sample boundary, so the recorded series — row cycles
+// and row values — is identical with and without skipping. An odd
+// interval (7) makes the boundaries land off any natural event cycle,
+// which is exactly where a missed clamp would show.
+func TestSamplerRowsUnaffectedBySkipping(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	configs := []func() Config{
+		func() Config { return Base(8) },
+		func() Config { return V4CMT() },
+		func() Config { return VLTScalar(4) },
+	}
+	for trial := 0; trial < 6; trial++ {
+		cfg := configs[trial%len(configs)]()
+		cfg.SampleEvery = 7
+		prog := genProgram(rng, cfg.NumThreads)
+		if cfg.Lanes == 0 || cfg.LaneScalarMode {
+			prog = genScalarProgram(rng, cfg.NumThreads)
+		}
+
+		skipM, err := NewMachine(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := skipM.Run(); err != nil {
+			t.Fatalf("trial %d (%s): skipping run: %v", trial, cfg.Name, err)
+		}
+
+		ref := cfg
+		ref.NoSkip = true
+		tickM, err := NewMachine(ref, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tickM.Run(); err != nil {
+			t.Fatalf("trial %d (%s): ticking run: %v", trial, cfg.Name, err)
+		}
+
+		ss, ts := skipM.Sampler(), tickM.Sampler()
+		if ss.Len() == 0 {
+			t.Fatalf("trial %d (%s): sampler recorded no rows", trial, cfg.Name)
+		}
+		if ss.Len() != ts.Len() {
+			t.Fatalf("trial %d (%s): %d sample rows skipping vs %d ticking",
+				trial, cfg.Name, ss.Len(), ts.Len())
+		}
+		for i := 0; i < ss.Len(); i++ {
+			sc, sv := ss.Row(i)
+			tc, tv := ts.Row(i)
+			if sc != tc {
+				t.Fatalf("trial %d (%s) row %d: sampled at cycle %d skipping vs %d ticking",
+					trial, cfg.Name, i, sc, tc)
+			}
+			for j := range sv {
+				if sv[j] != tv[j] {
+					t.Fatalf("trial %d (%s) row %d: metric %s = %v skipping vs %v ticking",
+						trial, cfg.Name, i, ss.Names()[j], sv[j], tv[j])
+				}
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package guard
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"testing"
@@ -239,6 +240,18 @@ func NewWatchdog(limit uint64) *Watchdog {
 
 // Limit returns the stall window in cycles.
 func (w *Watchdog) Limit() uint64 { return w.limit }
+
+// Deadline returns the first cycle at which Observe would report a
+// stall if no further instruction retires. The event-driven scheduler
+// clamps cycle jumps to this boundary so a livelocked machine trips the
+// watchdog at exactly the same cycle as a ticked run.
+func (w *Watchdog) Deadline() uint64 {
+	d := w.lastAdvance + w.limit
+	if d < w.lastAdvance {
+		return math.MaxUint64 // saturate on overflow
+	}
+	return d
+}
 
 // Observe records the retired total at cycle now and reports whether the
 // stall window has been exceeded.

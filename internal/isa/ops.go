@@ -185,13 +185,18 @@ func defOp(op Op, inf Info) {
 	opInfos[op] = inf
 }
 
-// Info returns the metadata for the opcode. Unknown opcodes return a
-// zero Info with Name "".
-func (op Op) Info() Info {
+// zeroInfo is returned for unknown opcodes; callers must not mutate the
+// result of Info.
+var zeroInfo Info
+
+// Info returns the metadata for the opcode — a pointer into the static
+// opcode table, so the hot paths that consult it every cycle do not copy
+// the ~100-byte struct. Unknown opcodes return a zero Info with Name "".
+func (op Op) Info() *Info {
 	if int(op) >= NumOps {
-		return Info{}
+		return &zeroInfo
 	}
-	return opInfos[op]
+	return &opInfos[op]
 }
 
 // String returns the opcode mnemonic.

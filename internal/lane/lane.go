@@ -54,6 +54,15 @@ type Core struct {
 	fetchQ []*pipe.Uop // fetched, not yet issued (program order, may have holes)
 	rob    []*pipe.Uop // all in-flight uops in program order (retire queue)
 
+	// robArr is rob's base array: retirement pops by reslicing from the
+	// front, so the queue is rewound onto it whenever it empties to keep
+	// append from allocating fresh backing stores all run long (fetchQ
+	// compacts in place and needs no rewind).
+	robArr []*pipe.Uop
+
+	regScratch []isa.Reg  // AppendSrcs/AppendDests scratch for fetch
+	arena      pipe.Arena // slab allocator for this core's uops
+
 	lastWriter [isa.NumRegs]*pipe.Uop
 
 	haltFetched   bool
@@ -81,7 +90,7 @@ func New(id int, cfg Config, machine *vm.VM, l2 *mem.L2) *Core {
 	if cfg.Width == 0 {
 		cfg = DefaultConfig()
 	}
-	return &Core{
+	c := &Core{
 		ID:      id,
 		cfg:     cfg,
 		vmach:   machine,
@@ -91,6 +100,10 @@ func New(id int, cfg Config, machine *vm.VM, l2 *mem.L2) *Core {
 		tid:     -1,
 		curLine: ^uint64(0),
 	}
+	c.fetchQ = make([]*pipe.Uop, 0, cfg.DecoupleWindow+cfg.Width)
+	c.robArr = make([]*pipe.Uop, 0, cfg.RetireQueue)
+	c.rob = c.robArr
+	return c
 }
 
 // ICache exposes the lane instruction cache (statistics).
@@ -158,11 +171,26 @@ func (c *Core) retire(now uint64) {
 		h.Retired = true
 		c.rob[0] = nil
 		c.rob = c.rob[1:]
+		if len(c.rob) == 0 {
+			c.rob = c.robArr[:0]
+		}
 		c.Retired++
 		budget--
 		if c.OnRetire != nil {
 			c.OnRetire(h)
 		}
+		// Unpin the uop from last-writer tracking (producer capture
+		// filters on Retired, so entries only pin dead uops).
+		c.regScratch = h.Dyn.Inst.AppendDests(c.regScratch[:0])
+		for _, r := range c.regScratch {
+			if c.lastWriter[r] == h {
+				c.lastWriter[r] = nil
+				h.Release()
+			}
+		}
+		// Nothing reads this uop's edges again: break the producer chain.
+		// This may recycle h, so it must be the last use of it.
+		h.ReleaseProducers()
 	}
 }
 
@@ -266,6 +294,7 @@ func (c *Core) fetch(now uint64) {
 			return
 		}
 		c.stallUntil = c.pendingBranch.DoneCycle + uint64(c.cfg.MispredictPenalty)
+		c.pendingBranch.Release()
 		c.pendingBranch = nil
 		if c.stallUntil > now {
 			return
@@ -275,6 +304,7 @@ func (c *Core) fetch(now uint64) {
 		if !c.blockedUop.DoneBy(now) {
 			return
 		}
+		c.blockedUop.Release()
 		c.blockedUop = nil
 	}
 	for i := 0; i < c.cfg.Width; i++ {
@@ -295,24 +325,27 @@ func (c *Core) fetch(now uint64) {
 			}
 			c.curLine = line
 		}
-		dyn, err := c.vmach.Step(c.tid)
+		dyn, err := c.vmach.StepReusing(c.tid, c.arena.RecycleDyn())
 		if err != nil {
 			c.Err = err
 			return
 		}
-		u := &pipe.Uop{
-			Dyn: dyn, Thread: c.tid, FetchCycle: now,
-			DoneCycle: pipe.NeverDone, ChainCycle: pipe.NeverDone,
-			CommitCycle: pipe.NeverDone,
-		}
+		u := c.arena.NewUop(dyn, c.tid, now)
 		// Record producers at fetch (the core has no rename stage;
 		// in-order issue makes fetch-time capture safe).
-		for _, r := range dyn.Inst.Srcs() {
+		c.regScratch = dyn.Inst.AppendSrcs(c.regScratch[:0])
+		for _, r := range c.regScratch {
 			if w := c.lastWriter[r]; w != nil && !w.Retired {
+				w.Retain()
 				u.Producers = append(u.Producers, w)
 			}
 		}
-		for _, r := range dyn.Inst.Dests() {
+		c.regScratch = dyn.Inst.AppendDests(c.regScratch[:0])
+		for _, r := range c.regScratch {
+			if old := c.lastWriter[r]; old != nil {
+				old.Release()
+			}
+			u.Retain()
 			c.lastWriter[r] = u
 		}
 		c.fetchQ = append(c.fetchQ, u)
@@ -327,6 +360,7 @@ func (c *Core) fetch(now uint64) {
 			}
 			if !correct {
 				u.Mispredicted = true
+				u.Retain()
 				c.pendingBranch = u
 				return
 			}
@@ -336,6 +370,7 @@ func (c *Core) fetch(now uint64) {
 			continue
 		}
 		if dyn.IsBarrier {
+			u.Retain()
 			c.blockedUop = u
 			return
 		}

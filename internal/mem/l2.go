@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math"
 
 	"vlt/internal/stats"
 )
@@ -65,6 +66,15 @@ func (l *L2) Config() L2Config { return l.cfg }
 
 // Cache exposes the tag array (for statistics).
 func (l *L2) Cache() *Cache { return l.cache }
+
+// NextEvent reports the earliest future cycle at which the cache can
+// change state on its own: never. The memory hierarchy is pull-based —
+// Access/AccessBulk resolve the complete timing of a request the moment
+// it is made, and the latency materializes as the requesting uop's
+// DoneCycle, which the pipeline models already report as their own next
+// events. The method exists so the machine's event-horizon scan can
+// treat every component uniformly.
+func (l *L2) NextEvent(now uint64) uint64 { return math.MaxUint64 }
 
 // RegisterMetrics registers the shared cache's counters on r (scoped to
 // "l2" by the machine model).

@@ -54,6 +54,159 @@ type Uop struct {
 	// tracked by the scalar unit and consulted by the vector control
 	// logic (vector-scalar dependencies).
 	ScalarProducers []*Uop
+
+	// prodBuf is the inline backing store for Producers: nearly every
+	// uop has at most a handful of producers, so NewUop points Producers
+	// here and append only spills to the heap past four entries.
+	prodBuf [4]*Uop
+
+	// refs counts the durable references other pipeline structures hold
+	// to this uop beyond its own front end's queues: producer edges,
+	// last-writer tracking, and fetch-gating pointers. Together with
+	// Retired and released edges it decides when the owning arena may
+	// recycle the uop (see Retain/Release).
+	refs int32
+
+	// freed guards against double-recycling an already freed uop.
+	freed bool
+
+	// arena is the owning allocator, nil for uops built with NewUop
+	// directly (tests); nil-arena uops are never recycled.
+	arena *Arena
+}
+
+// NewUop returns an in-flight uop for dyn on the given thread, fetched
+// at cycle now, with all completion times unknown and Producers backed
+// by the uop's inline storage.
+func NewUop(dyn *vm.Dyn, thread int, now uint64) *Uop {
+	u := &Uop{
+		Dyn:         dyn,
+		Thread:      thread,
+		FetchCycle:  now,
+		DoneCycle:   NeverDone,
+		CommitCycle: NeverDone,
+		ChainCycle:  NeverDone,
+	}
+	u.Producers = u.prodBuf[:0]
+	return u
+}
+
+// arenaSlab is the number of uops per arena slab: large enough to
+// amortize the allocator, small enough (~78KB) that an almost-drained
+// slab pinned by one long-lived uop wastes little.
+const arenaSlab = 512
+
+// Arena allocates uops for one pipeline front end. Dead uops — retired,
+// edges released, refcount zero — are recycled through a free list, so
+// steady-state simulation performs no per-instruction heap allocation at
+// all; when the free list is empty, uops are bump-allocated from slabs,
+// replacing one heap allocation per dynamic instruction with one per
+// 512. The zero Arena is ready to use. Arenas are not safe for
+// concurrent use: one machine's components all tick on one goroutine.
+type Arena struct {
+	slab     []Uop
+	freeUops []*Uop
+	freeDyns []*vm.Dyn
+}
+
+// NewUop returns an in-flight uop for dyn on the given thread, fetched
+// at cycle now — recycled from the free list when possible, otherwise
+// carved from the arena's current slab.
+func (a *Arena) NewUop(dyn *vm.Dyn, thread int, now uint64) *Uop {
+	var u *Uop
+	if n := len(a.freeUops); n > 0 {
+		u = a.freeUops[n-1]
+		a.freeUops[n-1] = nil
+		a.freeUops = a.freeUops[:n-1]
+		// Free implies refs == 0, Producers/ScalarProducers nil and
+		// prodBuf cleared (ReleaseProducers ran); reset the rest.
+		u.DispatchCycle = 0
+		u.IssueCycle = 0
+		u.Issued = false
+		u.Retired = false
+		u.Mispredicted = false
+		u.freed = false
+	} else {
+		if len(a.slab) == cap(a.slab) {
+			a.slab = make([]Uop, 0, arenaSlab)
+		}
+		// Field assignments into the pre-zeroed slot, rather than
+		// copying a composite literal, to avoid a 152-byte struct copy
+		// plus bulk write barriers on the hottest path in the simulator.
+		a.slab = a.slab[:len(a.slab)+1]
+		u = &a.slab[len(a.slab)-1]
+		u.arena = a
+	}
+	u.Dyn = dyn
+	u.Thread = thread
+	u.FetchCycle = now
+	u.DoneCycle = NeverDone
+	u.CommitCycle = NeverDone
+	u.ChainCycle = NeverDone
+	u.Producers = u.prodBuf[:0]
+	return u
+}
+
+// RecycleDyn pops a dead Dyn record for reuse by the functional
+// simulator (vm.StepReusing), or nil when none is free.
+func (a *Arena) RecycleDyn() *vm.Dyn {
+	n := len(a.freeDyns)
+	if n == 0 {
+		return nil
+	}
+	d := a.freeDyns[n-1]
+	a.freeDyns[n-1] = nil
+	a.freeDyns = a.freeDyns[:n-1]
+	return d
+}
+
+// free returns a dead uop (and its Dyn) to the arena's free lists.
+func (a *Arena) free(u *Uop) {
+	u.freed = true
+	a.freeUops = append(a.freeUops, u)
+	if u.Dyn != nil {
+		a.freeDyns = append(a.freeDyns, u.Dyn)
+		u.Dyn = nil
+	}
+}
+
+// Retain records one durable reference to the uop: a producer edge, a
+// last-writer slot, or a fetch-gating pointer. Every Retain must be
+// paired with exactly one Release when the reference is dropped.
+func (u *Uop) Retain() { u.refs++ }
+
+// Release drops one durable reference and recycles the uop once it is
+// fully dead: retired, own edges released, and no references left.
+func (u *Uop) Release() {
+	u.refs--
+	u.maybeFree()
+}
+
+func (u *Uop) maybeFree() {
+	if u.arena != nil && !u.freed && u.refs == 0 && u.Retired && u.Producers == nil {
+		u.arena.free(u)
+	}
+}
+
+// ReleaseProducers drops the uop's dependence edges once no pipeline
+// stage will read them again (scalar retirement for scalar uops, vector
+// completion for vector uops). Consumers that still hold a pointer to
+// this uop only read its cycle fields, which stay valid; clearing the
+// edges keeps retired producer chains from staying reachable for the
+// whole run.
+func (u *Uop) ReleaseProducers() {
+	for _, p := range u.Producers {
+		p.Release()
+	}
+	for _, p := range u.ScalarProducers {
+		p.Release()
+	}
+	u.Producers = nil
+	u.ScalarProducers = nil
+	for i := range u.prodBuf {
+		u.prodBuf[i] = nil
+	}
+	u.maybeFree()
 }
 
 // DoneBy reports whether the uop's result is available at cycle now.
@@ -73,6 +226,23 @@ func (u *Uop) ReadyBy(now uint64) bool {
 		}
 	}
 	return true
+}
+
+// ReadyCycle returns the first cycle at which every producer's result is
+// available. known is false while any producer's completion time is
+// still unknown (NeverDone) — readiness is then gated on another event
+// and no cycle can be predicted yet.
+func (u *Uop) ReadyCycle() (cycle uint64, known bool) {
+	var r uint64
+	for _, p := range u.Producers {
+		if p.DoneCycle == NeverDone {
+			return 0, false
+		}
+		if p.DoneCycle > r {
+			r = p.DoneCycle
+		}
+	}
+	return r, true
 }
 
 // Bimodal is a table of 2-bit saturating counters indexed by PC. The

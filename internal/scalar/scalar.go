@@ -20,6 +20,14 @@ func CodeAddr(pc int) uint64 { return CodeBase + uint64(pc)*isa.WordSize }
 // VectorSink accepts vector uops at dispatch (implemented by vcl.VCL).
 type VectorSink interface {
 	Enqueue(*pipe.Uop) bool
+	// PeekEnqueue reports whether Enqueue would accept the uop (ok)
+	// and, when it would not, whether the refusal would be counted as a
+	// VIQ rejection (counted). It must not change any state.
+	PeekEnqueue(*pipe.Uop) (ok, counted bool)
+	// CreditRejects records n VIQ rejections without enqueue attempts —
+	// the event-driven scheduler's bulk credit for skipped cycles on
+	// which dispatch would have retried a blocked vector head.
+	CreditRejects(n uint64)
 }
 
 // Config parameterizes one scalar unit.
@@ -68,6 +76,12 @@ type context struct {
 	rob    []*pipe.Uop
 	robCap int
 
+	// Base arrays for fetchQ and rob: both queues pop by reslicing from
+	// the front, so they are rewound onto these whenever they empty to
+	// keep append from allocating fresh backing stores all run long.
+	fetchQArr []*pipe.Uop
+	robArr    []*pipe.Uop
+
 	lastWriter [isa.NumRegs]*pipe.Uop
 
 	haltFetched   bool
@@ -99,6 +113,11 @@ type Unit struct {
 
 	fetchRR  int
 	retireRR int
+
+	// Hot-path scratch buffers, reused across cycles.
+	fetchReady []*context // fetch's per-cycle fetchable-context list
+	regScratch []isa.Reg  // AppendSrcs/AppendDests buffer for dispatch
+	arena      pipe.Arena // slab allocator for this unit's uops
 
 	// OnRetire, if set, is called for every retired uop (the machine
 	// model uses it for region tracking and completion accounting).
@@ -143,8 +162,16 @@ func New(id int, cfg Config, machine *vm.VM, l2 *mem.L2, vsink VectorSink) *Unit
 		robCap = cfg.ROBSize * 3 / 4
 	}
 	for s := 0; s < cfg.Contexts; s++ {
-		u.ctxs = append(u.ctxs, &context{slot: s, tid: -1, robCap: robCap, curLine: ^uint64(0)})
+		c := &context{slot: s, tid: -1, robCap: robCap, curLine: ^uint64(0)}
+		// fetchQ is capped at 2*Width before a fetch of up to Width more.
+		c.fetchQArr = make([]*pipe.Uop, 0, 3*cfg.Width)
+		c.robArr = make([]*pipe.Uop, 0, robCap)
+		c.fetchQ = c.fetchQArr
+		c.rob = c.robArr
+		u.ctxs = append(u.ctxs, c)
 	}
+	u.window = make([]*pipe.Uop, 0, cfg.WindowSize)
+	u.fetchReady = make([]*context, 0, cfg.Contexts)
 	return u
 }
 
@@ -265,6 +292,30 @@ func (u *Unit) retire(now uint64) {
 			if u.OnRetire != nil {
 				u.OnRetire(h)
 			}
+			// Unpin the uop from last-writer tracking once its result is
+			// in the register file (producer capture skips retired+done
+			// writers, so such entries only pin dead uops). Early-committed
+			// vector uops with in-flight scalar results stay tracked.
+			if h.DoneBy(now) {
+				u.regScratch = h.Dyn.Inst.AppendDests(u.regScratch[:0])
+				for _, r := range u.regScratch {
+					if !r.IsVec() && c.lastWriter[r] == h {
+						c.lastWriter[r] = nil
+						h.Release()
+					}
+				}
+			}
+			if h.CommitCycle == pipe.NeverDone {
+				// A plain scalar uop (vector uops carry a CommitCycle
+				// from early commit, and the VCL still reads their
+				// dependence edges for chaining): nothing reads this
+				// uop's edges again, so break the producer chain. This may
+				// recycle h, so it must be the last use of it.
+				h.ReleaseProducers()
+			}
+		}
+		if len(c.rob) == 0 {
+			c.rob = c.robArr[:0]
 		}
 	}
 	u.retireRR++
@@ -342,7 +393,7 @@ func (u *Unit) dispatch(now uint64) {
 						uop.Dyn.Inst, uop.Thread)
 					return
 				}
-				u.collectScalarProducers(c, uop)
+				u.collectScalarProducers(c, uop, now)
 				if !u.vsink.Enqueue(uop) {
 					u.DispStallVIQ++
 					budget = 0
@@ -364,7 +415,7 @@ func (u *Unit) dispatch(now uint64) {
 					budget = 0
 					break
 				}
-				u.collectProducers(c, uop)
+				u.collectProducers(c, uop, now)
 				u.recordScalarDests(c, uop)
 				u.window = append(u.window, uop)
 			}
@@ -374,6 +425,9 @@ func (u *Unit) dispatch(now uint64) {
 			uop.DispatchCycle = now
 			c.fetchQ[0] = nil
 			c.fetchQ = c.fetchQ[1:]
+			if len(c.fetchQ) == 0 {
+				c.fetchQ = c.fetchQArr[:0]
+			}
 			c.rob = append(c.rob, uop)
 			u.Dispatched++
 			budget--
@@ -381,10 +435,16 @@ func (u *Unit) dispatch(now uint64) {
 	}
 }
 
-// collectProducers records all unretired producers of a scalar uop.
-func (u *Unit) collectProducers(c *context, uop *pipe.Uop) {
-	for _, r := range uop.Dyn.Inst.Srcs() {
-		if w := c.lastWriter[r]; w != nil {
+// collectProducers records the producers of a scalar uop. Writers both
+// retired and done are skipped: their result is in the register file and
+// imposes no wait. (Retirement alone is not enough — a vector uop with a
+// scalar destination retires early on its CommitCycle while its result
+// is still in flight.)
+func (u *Unit) collectProducers(c *context, uop *pipe.Uop, now uint64) {
+	u.regScratch = uop.Dyn.Inst.AppendSrcs(u.regScratch[:0])
+	for _, r := range u.regScratch {
+		if w := c.lastWriter[r]; w != nil && !(w.Retired && w.DoneBy(now)) {
+			w.Retain()
 			uop.Producers = append(uop.Producers, w)
 		}
 	}
@@ -392,15 +452,17 @@ func (u *Unit) collectProducers(c *context, uop *pipe.Uop) {
 
 // collectScalarProducers records the scalar-register producers of a
 // vector uop for the VCL's vector-scalar dependence check.
-func (u *Unit) collectScalarProducers(c *context, uop *pipe.Uop) {
+func (u *Unit) collectScalarProducers(c *context, uop *pipe.Uop, now uint64) {
 	if uop.ScalarProducers != nil {
 		return // already collected on a previous (VIQ-full) attempt
 	}
-	for _, r := range uop.Dyn.Inst.Srcs() {
+	u.regScratch = uop.Dyn.Inst.AppendSrcs(u.regScratch[:0])
+	for _, r := range u.regScratch {
 		if r.IsVec() {
 			continue
 		}
-		if w := c.lastWriter[r]; w != nil {
+		if w := c.lastWriter[r]; w != nil && !(w.Retired && w.DoneBy(now)) {
+			w.Retain()
 			uop.ScalarProducers = append(uop.ScalarProducers, w)
 		}
 	}
@@ -412,8 +474,13 @@ func (u *Unit) collectScalarProducers(c *context, uop *pipe.Uop) {
 // recordScalarDests updates last-writer tracking for the uop's scalar
 // destinations (vector destinations are renamed inside the VCL).
 func (u *Unit) recordScalarDests(c *context, uop *pipe.Uop) {
-	for _, r := range uop.Dyn.Inst.Dests() {
+	u.regScratch = uop.Dyn.Inst.AppendDests(u.regScratch[:0])
+	for _, r := range u.regScratch {
 		if !r.IsVec() {
+			if old := c.lastWriter[r]; old != nil {
+				old.Release()
+			}
+			uop.Retain()
 			c.lastWriter[r] = uop
 		}
 	}
@@ -425,7 +492,7 @@ func (u *Unit) recordScalarDests(c *context, uop *pipe.Uop) {
 // branch mispredictions, barriers and halt.
 func (u *Unit) fetch(now uint64) {
 	n := len(u.ctxs)
-	var ready []*context
+	ready := u.fetchReady[:0]
 	for i := 0; i < n; i++ {
 		c := u.ctxs[(u.fetchRR+i)%n]
 		if u.fetchable(c, now) {
@@ -473,6 +540,7 @@ func (u *Unit) fetchable(c *context, now uint64) bool {
 			return false
 		}
 		c.stallUntil = c.pendingBranch.DoneCycle + uint64(u.cfg.MispredictPenalty)
+		c.pendingBranch.Release()
 		c.pendingBranch = nil
 		if c.stallUntil > now {
 			u.FetchStallBranch++
@@ -483,6 +551,7 @@ func (u *Unit) fetchable(c *context, now uint64) bool {
 		if !c.blockedUop.DoneBy(now) {
 			return false
 		}
+		c.blockedUop.Release()
 		c.blockedUop = nil
 	}
 	return true
@@ -503,16 +572,12 @@ func (u *Unit) fetchFrom(c *context, now uint64, width int) int {
 			}
 			c.curLine = line
 		}
-		dyn, err := u.vmach.Step(c.tid)
+		dyn, err := u.vmach.StepReusing(c.tid, u.arena.RecycleDyn())
 		if err != nil {
 			u.Err = err
 			return i
 		}
-		uop := &pipe.Uop{
-			Dyn: dyn, Thread: c.tid, FetchCycle: now,
-			DoneCycle: pipe.NeverDone, ChainCycle: pipe.NeverDone,
-			CommitCycle: pipe.NeverDone,
-		}
+		uop := u.arena.NewUop(dyn, c.tid, now)
 		c.fetchQ = append(c.fetchQ, uop)
 		u.Fetched++
 
@@ -524,6 +589,7 @@ func (u *Unit) fetchFrom(c *context, now uint64, width int) int {
 			}
 			if !correct {
 				uop.Mispredicted = true
+				uop.Retain()
 				c.pendingBranch = uop
 				return i + 1
 			}
@@ -533,6 +599,7 @@ func (u *Unit) fetchFrom(c *context, now uint64, width int) int {
 			continue
 		}
 		if dyn.IsBarrier || dyn.VltCfg != 0 {
+			uop.Retain()
 			c.blockedUop = uop
 			return i + 1
 		}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -273,6 +274,17 @@ func (s *Sampler) Names() []string { return s.names }
 
 // Interval returns the sampling interval in cycles.
 func (s *Sampler) Interval() uint64 { return s.interval }
+
+// NextSample returns the cycle at which Tick will next record a row
+// (math.MaxUint64 when the sampler records no metrics). The
+// event-driven scheduler clamps cycle jumps to this boundary so the
+// sampled time series is identical with and without cycle skipping.
+func (s *Sampler) NextSample() uint64 {
+	if len(s.metrics) == 0 {
+		return math.MaxUint64
+	}
+	return s.next
+}
 
 // Tick observes the cycle counter; on interval boundaries it records one
 // row. Call once per simulated cycle.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -134,5 +135,40 @@ func TestEmptySamplerNeverRecords(t *testing.T) {
 	}
 	if s.Len() != 0 {
 		t.Fatalf("empty sampler recorded %d rows", s.Len())
+	}
+}
+
+func TestSamplerNextSample(t *testing.T) {
+	r := New()
+	var busy uint64
+	r.Counter("busy", &busy)
+	s := r.NewSampler(7, "busy")
+	// The first row is recorded at cycle 0; after a Tick at cycle n the
+	// next boundary is n+interval, whether or not n was itself a
+	// boundary (a late Tick re-anchors the series, matching Tick).
+	if got := s.NextSample(); got != 0 {
+		t.Fatalf("NextSample before any Tick = %d, want 0", got)
+	}
+	s.Tick(0)
+	if got := s.NextSample(); got != 7 {
+		t.Fatalf("NextSample after Tick(0) = %d, want 7", got)
+	}
+	s.Tick(3) // below the boundary: no row, no change
+	if got := s.NextSample(); got != 7 {
+		t.Fatalf("NextSample after Tick(3) = %d, want 7", got)
+	}
+	s.Tick(9) // past the boundary: records and re-anchors at 9+7
+	if got := s.NextSample(); got != 16 {
+		t.Fatalf("NextSample after Tick(9) = %d, want 16", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("recorded %d rows, want 2", s.Len())
+	}
+
+	// A sampler with no matched metrics never records: NextSample must
+	// never schedule a wake-up.
+	e := r.NewSampler(5, "missing")
+	if got := e.NextSample(); got != math.MaxUint64 {
+		t.Fatalf("empty sampler NextSample = %d, want MaxUint64", got)
 	}
 }

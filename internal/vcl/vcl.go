@@ -63,6 +63,8 @@ type partition struct {
 	winCap int
 	viq    []*pipe.Uop
 	win    []*pipe.Uop
+	viqArr []*pipe.Uop // viq's base array, rewound when the queue empties
+	srcs   []isa.Reg   // dispatch scratch for AppendSrcs
 
 	lastWriter [isa.NumVecRegs]*pipe.Uop
 	renames    int // vector destinations in flight
@@ -181,7 +183,7 @@ func (v *VCL) Partition(threads []int) error {
 	}
 	v.parts = make([]*partition, n)
 	for i, tid := range threads {
-		v.parts[i] = &partition{
+		p := &partition{
 			id:        i,
 			thread:    tid,
 			lanes:     lanes,
@@ -189,7 +191,11 @@ func (v *VCL) Partition(threads []int) error {
 			winCap:    winCap,
 			renameCap: v.cfg.PhysRegs - isa.NumVecRegs,
 			noChain:   v.cfg.DisableChaining,
+			viqArr:    make([]*pipe.Uop, 0, viqCap),
+			win:       make([]*pipe.Uop, 0, winCap),
 		}
+		p.viq = p.viqArr
+		v.parts[i] = p
 	}
 	v.rr = 0
 	return nil
@@ -282,7 +288,16 @@ func (p *partition) retireDone(now uint64) int {
 		if u.Issued && u.DoneBy(now) {
 			if hasVecDest(u) {
 				p.renames--
+				// Unpin the uop from chain tracking: it is done, so any
+				// later consumer chains from the register file anyway.
+				if rd := u.Dyn.Inst.Rd.Index(); p.lastWriter[rd] == u {
+					p.lastWriter[rd] = nil
+					u.Release()
+				}
 			}
+			// No stage reads this uop's edges again: break the producer
+			// chain. This may recycle u, so it must be the last use of it.
+			u.ReleaseProducers()
 			retired++
 			continue
 		}
@@ -312,20 +327,31 @@ func (p *partition) dispatch(now uint64, width int) {
 		if needsRename && p.renames >= p.renameCap {
 			return // out of physical registers
 		}
+		p.viq[0] = nil // drop the dequeued entry's reference
 		p.viq = p.viq[1:]
+		if len(p.viq) == 0 {
+			p.viq = p.viqArr[:0] // rewind onto the base array
+		}
 		if needsRename {
 			p.renames++
 		}
 		// Vector-register producers (chaining sources).
-		for _, r := range u.Dyn.Inst.Srcs() {
+		p.srcs = u.Dyn.Inst.AppendSrcs(p.srcs[:0])
+		for _, r := range p.srcs {
 			if r.IsVec() {
 				if w := p.lastWriter[r.Index()]; w != nil {
+					w.Retain()
 					u.Producers = append(u.Producers, w)
 				}
 			}
 		}
 		if needsRename {
-			p.lastWriter[u.Dyn.Inst.Rd.Index()] = u
+			rd := u.Dyn.Inst.Rd.Index()
+			if old := p.lastWriter[rd]; old != nil {
+				old.Release()
+			}
+			u.Retain()
+			p.lastWriter[rd] = u
 		}
 		u.DispatchCycle = now
 		p.win = append(p.win, u)

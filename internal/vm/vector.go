@@ -125,7 +125,7 @@ func (v *VM) execVector(t *Thread, in *isa.Instruction, d *Dyn) error {
 		t.FPRegs[in.Rd.Index()] = best
 
 	case isa.OpVLd, isa.OpVLdS, isa.OpVLdX:
-		addrs, err := v.vecAddrs(t, in, vl)
+		addrs, err := v.vecAddrs(t, in, vl, d.EffAddrs[:0])
 		if err != nil {
 			return v.fault(t, "%v", err)
 		}
@@ -140,7 +140,7 @@ func (v *VM) execVector(t *Thread, in *isa.Instruction, d *Dyn) error {
 		d.EffAddrs = addrs
 
 	case isa.OpVSt, isa.OpVStS, isa.OpVStX:
-		addrs, err := v.vecAddrs(t, in, vl)
+		addrs, err := v.vecAddrs(t, in, vl, d.EffAddrs[:0])
 		if err != nil {
 			return v.fault(t, "%v", err)
 		}
@@ -158,10 +158,16 @@ func (v *VM) execVector(t *Thread, in *isa.Instruction, d *Dyn) error {
 	return nil
 }
 
-// vecAddrs computes the element addresses of a vector memory instruction.
-func (v *VM) vecAddrs(t *Thread, in *isa.Instruction, vl int) ([]uint64, error) {
+// vecAddrs computes the element addresses of a vector memory instruction
+// into buf (normally the Dyn's recycled EffAddrs buffer).
+func (v *VM) vecAddrs(t *Thread, in *isa.Instruction, vl int, buf []uint64) ([]uint64, error) {
 	base := t.getInt(in.Ra)
-	addrs := make([]uint64, vl)
+	var addrs []uint64
+	if cap(buf) >= vl {
+		addrs = buf[:vl]
+	} else {
+		addrs = make([]uint64, vl)
+	}
 	switch in.Op {
 	case isa.OpVLd, isa.OpVSt:
 		for i := 0; i < vl; i++ {

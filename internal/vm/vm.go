@@ -147,7 +147,16 @@ type VM struct {
 
 	threads []*Thread
 	code    []isa.Instruction
+
+	// dynSlab bump-allocates Dyn records: one heap allocation per 512
+	// dynamic instructions instead of one each. Slabs are never reused —
+	// a full slab is abandoned to the garbage collector, which reclaims
+	// it once no uop references any Dyn in it.
+	dynSlab []Dyn
 }
+
+// dynSlabSize is the number of Dyn records per slab (~57KB each).
+const dynSlabSize = 512
 
 // New loads the program image and creates numThreads thread contexts. The
 // functional register conventions are established here: RegTID and RegNTH
@@ -214,7 +223,14 @@ func (t *Thread) setInt(r isa.Reg, val uint64) {
 // Step executes one instruction on thread tid and reports what happened.
 // Calling Step on a halted thread is an error (the timing model must not
 // fetch past HALT).
-func (v *VM) Step(tid int) (*Dyn, error) {
+func (v *VM) Step(tid int) (*Dyn, error) { return v.StepReusing(tid, nil) }
+
+// StepReusing is Step with an optional recycled Dyn record (from
+// pipe.Arena.RecycleDyn): when d is non-nil it is fully reset and reused
+// — including its EffAddrs buffer, so steady-state simulation allocates
+// no Dyn records and no address slices at all. d must not be referenced
+// by any live uop.
+func (v *VM) StepReusing(tid int, d *Dyn) (*Dyn, error) {
 	t := v.threads[tid]
 	if t.Halted {
 		return nil, fmt.Errorf("vm: thread %d stepped after halt", tid)
@@ -223,14 +239,25 @@ func (v *VM) Step(tid int) (*Dyn, error) {
 		return nil, fmt.Errorf("vm: thread %d pc %d out of range", tid, t.PC)
 	}
 	in := &v.code[t.PC]
-	d := &Dyn{
-		Thread: tid,
-		Seq:    t.seq,
-		PC:     t.PC,
-		Inst:   in,
-		NextPC: t.PC + 1,
-		Region: t.Region,
+	if d != nil {
+		addrs := d.EffAddrs[:0]
+		*d = Dyn{EffAddrs: addrs}
+	} else {
+		if len(v.dynSlab) == cap(v.dynSlab) {
+			v.dynSlab = make([]Dyn, 0, dynSlabSize)
+		}
+		// Field assignments into the pre-zeroed slot, rather than
+		// copying a composite literal, to avoid a 112-byte struct copy
+		// plus bulk write barriers once per dynamic instruction.
+		v.dynSlab = v.dynSlab[:len(v.dynSlab)+1]
+		d = &v.dynSlab[len(v.dynSlab)-1]
 	}
+	d.Thread = tid
+	d.Seq = t.seq
+	d.PC = t.PC
+	d.Inst = in
+	d.NextPC = t.PC + 1
+	d.Region = t.Region
 	t.seq++
 
 	info := in.Op.Info()
@@ -350,7 +377,7 @@ func (v *VM) exec(t *Thread, in *isa.Instruction, d *Dyn) error {
 			return v.fault(t, "%v", err)
 		}
 		t.setInt(in.Rd, val)
-		d.EffAddrs = []uint64{addr}
+		d.EffAddrs = append(d.EffAddrs, addr)
 	case isa.OpFLd:
 		addr := t.getInt(in.Ra) + uint64(in.Imm)
 		val, err := v.Mem.ReadWord(addr)
@@ -358,19 +385,19 @@ func (v *VM) exec(t *Thread, in *isa.Instruction, d *Dyn) error {
 			return v.fault(t, "%v", err)
 		}
 		t.FPRegs[in.Rd.Index()] = math.Float64frombits(val)
-		d.EffAddrs = []uint64{addr}
+		d.EffAddrs = append(d.EffAddrs, addr)
 	case isa.OpSt:
 		addr := t.getInt(in.Ra) + uint64(in.Imm)
 		if err := v.Mem.WriteWord(addr, t.getInt(in.Rd)); err != nil {
 			return v.fault(t, "%v", err)
 		}
-		d.EffAddrs = []uint64{addr}
+		d.EffAddrs = append(d.EffAddrs, addr)
 	case isa.OpFSt:
 		addr := t.getInt(in.Ra) + uint64(in.Imm)
 		if err := v.Mem.WriteWord(addr, math.Float64bits(t.FPRegs[in.Rd.Index()])); err != nil {
 			return v.fault(t, "%v", err)
 		}
-		d.EffAddrs = []uint64{addr}
+		d.EffAddrs = append(d.EffAddrs, addr)
 
 	// ---- system ----
 	case isa.OpNop:

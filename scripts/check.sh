@@ -63,6 +63,43 @@ printf '%s\n' "$bench" | awk '
         }
     }'
 
+echo "== cycle-skip guard (BenchmarkRunBaseMXM, skipping vs VLT_NOSKIP=1)"
+skipb=$(go test -run '^$' -bench '^BenchmarkRunBaseMXM$' -benchtime 30x -count 5 .)
+tickb=$(VLT_NOSKIP=1 go test -run '^$' -bench '^BenchmarkRunBaseMXM$' -benchtime 30x -count 5 .)
+printf '%s\n' "$skipb" | grep '^Benchmark'
+printf '%s\n' "$tickb" | grep '^Benchmark' | sed 's/$/   (VLT_NOSKIP=1)/'
+printf '%s\nNOSKIPMARK\n%s\n' "$skipb" "$tickb" | awk '
+    /^NOSKIPMARK$/     { ticking = 1; next }
+    $1 ~ /^BenchmarkRunBaseMXM/ {
+        if (ticking) { t[tn++] = $3 } else { s[sn++] = $3 }
+    }
+    function median(a, n,    i, j, v) {
+        for (i = 1; i < n; i++) {
+            v = a[i]
+            for (j = i - 1; j >= 0 && a[j] > v; j--) a[j+1] = a[j]
+            a[j+1] = v
+        }
+        return a[int(n / 2)]
+    }
+    END {
+        if (sn == 0 || tn == 0) {
+            print "guard: missing benchmark results" > "/dev/stderr"; exit 1
+        }
+        smed = median(s, sn); tmed = median(t, tn)
+        ratio = smed / tmed
+        printf "guard: skipping %.2fms, ticking %.2fms, ratio %.2f (median of %d)\n", \
+            smed / 1e6, tmed / 1e6, ratio, sn
+        # mxm on the base machine saturates the vector unit, so there is
+        # almost nothing to skip: this cell bounds the event-scheduler
+        # OVERHEAD (the differential tests bound its correctness;
+        # quiescence gating keeps the expected ratio ~1.0). Medians,
+        # because single samples on a shared box swing ~30%; the 20%
+        # headroom is CI noise, same spirit as the vet overhead guard.
+        if (ratio > 1.20) {
+            print "guard: event-driven skipping is slower than ticking" > "/dev/stderr"; exit 1
+        }
+    }'
+
 echo "== vltd smoke (boot on an ephemeral port, healthz + one run, drained exit)"
 go build -o /tmp/vltd.check ./cmd/vltd
 /tmp/vltd.check -addr 127.0.0.1:0 >/tmp/vltd.check.out 2>&1 &

@@ -1,0 +1,59 @@
+package vlt
+
+import "testing"
+
+// TestSkipMatchesTickEveryCycle is the differential test behind the
+// event-driven scheduler (DESIGN.md §11): for every machine
+// configuration and every workload, a run with cycle skipping enabled
+// must produce a metric snapshot identical to a run that ticks every
+// cycle (VLT_NOSKIP=1). Any divergence means a component's NextEvent
+// lied about its next state change or SkipIdle miscredited a stall
+// counter — both silent corruptions this test turns into a named
+// metric diff.
+func TestSkipMatchesTickEveryCycle(t *testing.T) {
+	workloadList := Workloads()
+	machineList := Machines()
+	if testing.Short() {
+		// One vector machine, the scalar baseline, and the lane-scalar
+		// machine cover all three NextEvent implementations.
+		machineList = []Machine{MachineV4CMT, MachineCMT, MachineVLTScalar}
+	}
+	for _, m := range machineList {
+		for _, w := range workloadList {
+			t.Run(string(m)+"/"+w, func(t *testing.T) {
+				skip, serr := Run(w, m, Options{})
+				t.Setenv("VLT_NOSKIP", "1")
+				tick, terr := Run(w, m, Options{})
+				if serr != nil || terr != nil {
+					// Incompatible cells (a vector workload on a
+					// scalar-only machine) must at least fail the
+					// same way on both schedulers.
+					if serr == nil || terr == nil || serr.Error() != terr.Error() {
+						t.Fatalf("error mismatch: skipping=%v ticking=%v", serr, terr)
+					}
+					t.Skipf("cell not runnable: %v", serr)
+				}
+				diffMetrics(t, skip.Metrics, tick.Metrics)
+			})
+		}
+	}
+}
+
+// diffMetrics fails the test naming each metric that differs between
+// the skipping and tick-every-cycle runs.
+func diffMetrics(t *testing.T, skip, tick Metrics) {
+	t.Helper()
+	if len(skip) != len(tick) {
+		t.Fatalf("metric count differs: %d skipping vs %d ticking", len(skip), len(tick))
+	}
+	bad := 0
+	for i := range skip {
+		if skip[i] != tick[i] {
+			t.Errorf("metric %s: %s skipping vs %s ticking",
+				skip[i].Name, skip[i].FormatValue(), tick[i].FormatValue())
+			if bad++; bad >= 20 {
+				t.Fatal("too many metric diffs, stopping")
+			}
+		}
+	}
+}
