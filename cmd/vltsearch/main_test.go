@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunText(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-workload", "mpenc", "-machine", "V4-CMT", "-budget", "8"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"mpenc on V4-CMT", "runs simulated", "best plan", "verified=true"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-workload", "mpenc", "-budget", "4", "-json"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	var res struct {
+		Workload  string `json:"workload"`
+		Simulated int    `json:"simulated"`
+		Verified  bool   `json:"verified"`
+		Best      struct {
+			Cycles uint64 `json:"cycles"`
+		} `json:"best"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if res.Workload != "mpenc" || res.Simulated < 1 || res.Simulated > 4 {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	if !res.Verified || res.Best.Cycles == 0 {
+		t.Errorf("best plan not verified: %+v", res)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage: vltsearch") {
+		t.Errorf("missing usage text:\n%s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-workload", "nope"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown workload: exit %d, want 1", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"-workload", "mpenc", "-policy", "nope"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown policy: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,46 @@
+package clonecheck
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// Check fails t unless covered documents exactly the fields of v's
+// struct type (v may be a pointer to it, and may be a zero value — only
+// the type is inspected). Keys are field names; values state the clone
+// semantics ("deep copy", "shared: immutable ...", "reset: ..."), which
+// Check does not interpret — the value is documentation enforced to
+// exist, next to the field list enforced to be current.
+func Check(t testing.TB, v any, covered map[string]string) {
+	t.Helper()
+	typ := reflect.TypeOf(v)
+	for typ != nil && typ.Kind() == reflect.Pointer {
+		typ = typ.Elem()
+	}
+	if typ == nil || typ.Kind() != reflect.Struct {
+		t.Fatalf("clonecheck: %T is not a struct or pointer to one", v)
+		return
+	}
+	fields := make(map[string]bool, typ.NumField())
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		fields[name] = true
+		if why, ok := covered[name]; !ok {
+			t.Errorf("clonecheck: %s.%s has no declared clone semantics — "+
+				"handle it in Clone and document it here", typ, name)
+		} else if why == "" {
+			t.Errorf("clonecheck: %s.%s has an empty rationale", typ, name)
+		}
+	}
+	stale := make([]string, 0, len(covered))
+	for name := range covered {
+		if !fields[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		t.Errorf("clonecheck: %s has no field %q — remove the stale coverage entry", typ, name)
+	}
+}

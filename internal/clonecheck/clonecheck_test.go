@@ -1,0 +1,74 @@
+package clonecheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeTB records failures instead of failing the real test, so the
+// checker's detection logic is itself testable.
+type fakeTB struct {
+	testing.TB
+	errors []string
+	fatals []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, fmt.Sprintf(format, args...))
+}
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.fatals = append(f.fatals, fmt.Sprintf(format, args...))
+}
+
+type demo struct {
+	A int
+	b string
+}
+
+func TestCheckAccepts(t *testing.T) {
+	var f fakeTB
+	Check(&f, &demo{}, map[string]string{"A": "value copy", "b": "deep copy"})
+	if len(f.errors) != 0 || len(f.fatals) != 0 {
+		t.Errorf("complete coverage rejected: %v %v", f.errors, f.fatals)
+	}
+}
+
+func TestCheckFlagsUncoveredField(t *testing.T) {
+	var f fakeTB
+	Check(&f, demo{}, map[string]string{"A": "value copy"})
+	if len(f.errors) != 1 || !strings.Contains(f.errors[0], "demo.b") {
+		t.Errorf("uncovered field not flagged: %v", f.errors)
+	}
+}
+
+func TestCheckFlagsStaleEntry(t *testing.T) {
+	var f fakeTB
+	Check(&f, &demo{}, map[string]string{
+		"A": "value copy", "b": "deep copy", "Removed": "gone", "Old": "gone",
+	})
+	if len(f.errors) != 2 {
+		t.Fatalf("want 2 stale-entry errors, got %v", f.errors)
+	}
+	// Stale entries report in sorted order for deterministic output.
+	if !strings.Contains(f.errors[0], `"Old"`) || !strings.Contains(f.errors[1], `"Removed"`) {
+		t.Errorf("stale entries out of order: %v", f.errors)
+	}
+}
+
+func TestCheckFlagsEmptyRationale(t *testing.T) {
+	var f fakeTB
+	Check(&f, &demo{}, map[string]string{"A": "", "b": "deep copy"})
+	if len(f.errors) != 1 || !strings.Contains(f.errors[0], "empty rationale") {
+		t.Errorf("empty rationale not flagged: %v", f.errors)
+	}
+}
+
+func TestCheckRejectsNonStruct(t *testing.T) {
+	var f fakeTB
+	Check(&f, 42, nil)
+	if len(f.fatals) != 1 {
+		t.Errorf("non-struct not rejected: %v", f.fatals)
+	}
+}

@@ -1,0 +1,9 @@
+// Package clonecheck keeps the machine-forking clone layer exhaustive.
+// Every cloneable struct has an in-package test declaring, field by
+// field, how its Clone handles that field (deep-copied, value-copied,
+// intentionally shared immutable, deliberately reset). Check compares
+// the declaration against the struct's actual fields with reflection,
+// so adding a field without deciding its clone semantics — the classic
+// way forked machines silently start sharing state — fails the test
+// until the new field is both handled and documented.
+package clonecheck

@@ -80,6 +80,19 @@ type Config struct {
 	// switch exists for bisecting and for the check.sh bench guard. The
 	// VLT_NOSKIP environment variable (1/on/true) forces it globally.
 	NoSkip bool
+
+	// ForkAt, when set, is called at every lane-repartition decision —
+	// the cycle a VLTCFG is about to be applied — with the machine and
+	// the decision's ForkPoint. Returning a positive count from
+	// Machine.PartitionChoices overrides the program's requested
+	// partition count; returning 0 (or the requested count, or an
+	// invalid one) keeps the program's choice, cycle-for-cycle identical
+	// to running without a hook. The hook may Fork the machine to
+	// explore the choices it does not take — that is what
+	// internal/search does. Timing-model state must not be mutated from
+	// the hook. Fork clears this field on the clone; set it again with
+	// SetForkAt.
+	ForkAt func(*Machine, ForkPoint) int
 }
 
 // Validate checks structural consistency.

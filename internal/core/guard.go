@@ -56,6 +56,23 @@ func (m *Machine) initGuard() {
 		lastRet = n
 		return nil
 	})
+	// The registry's metric set is fixed at construction: components may
+	// not register metrics once the run has started (callers holding
+	// Machine.Registry() get a read-only contract). The baseline is
+	// captured lazily on the first sweep because initGuard runs before
+	// registerMetrics builds the registry.
+	regBaseline := -1
+	a.Register("machine.registry-stable", func() error {
+		n := m.reg.NumMetrics()
+		if regBaseline < 0 {
+			regBaseline = n
+			return nil
+		}
+		if n != regBaseline {
+			return fmt.Errorf("metric registry grew mid-run: %d metrics, was %d", n, regBaseline)
+		}
+		return nil
+	})
 	a.Register("machine.region-cycles", func() error {
 		var sum uint64
 		for _, region := range m.regions() {

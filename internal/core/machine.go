@@ -134,6 +134,15 @@ type Machine struct {
 	skipRetired uint64 // retiredTotal at the last skip attempt (quiescence gate)
 	coordOwners []int  // coordinate's scratch for repartition owner lists
 
+	// stage records where within the current cycle the run loop stands, so
+	// a machine forked from inside a ForkAt hook (mid-coordinate) resumes
+	// exactly there instead of re-ticking the cycle. decisionSeq numbers
+	// the repartition decisions applied so far; it advances whether or not
+	// a hook is installed, so hooked and unhooked runs agree on every
+	// ForkPoint.Index.
+	stage       runStage
+	decisionSeq int
+
 	// regionCur/regionPend batch the per-cycle region census: cycles
 	// accrue in regionPend while thread 0 stays in one region and flush
 	// to the regionCycles map only on region change or read, keeping
@@ -299,18 +308,31 @@ func (m *Machine) regions() []int64 {
 	return ids
 }
 
-// Registry exposes the machine's metric registry (live values; take a
-// Snapshot for a consistent export).
+// Registry exposes the machine's metric registry. The registry is a
+// live view — counters move while the machine runs; take a Snapshot for
+// a consistent export. Callers must not register metrics on it: the set
+// is fixed at construction, and the guard auditor fails the run if the
+// registry grows mid-flight. For an independent copy, Fork the machine.
 func (m *Machine) Registry() *stats.Registry { return m.reg }
 
 // Sampler exposes the time-series sampler, or nil when sampling is off.
+// Like Registry, this is the machine's live sampler, not a copy; Fork
+// for an independent one.
 func (m *Machine) Sampler() *stats.Sampler { return m.sampler }
 
-// VM exposes the functional machine (for result verification).
+// VM exposes the functional machine (for result verification). This is
+// the machine's live architectural state, not a copy — mutating it
+// mid-run corrupts the simulation. Fork the machine for an independent
+// copy to inspect or perturb.
 func (m *Machine) VM() *vm.VM { return m.vm }
 
-// L2 exposes the shared cache (for statistics).
+// L2 exposes the shared cache (for statistics). Live internals, same
+// contract as VM: read-only while the machine runs; Fork for a copy.
 func (m *Machine) L2() *mem.L2 { return m.l2 }
+
+// Now returns the machine's current cycle: the next cycle the run loop
+// will execute (equivalently, the number of cycles fully simulated).
+func (m *Machine) Now() uint64 { return m.now }
 
 func (m *Machine) onRetire(tid int, u *pipe.Uop) {
 	m.ring.Push(m.now, tid, u.Dyn.PC, u.Dyn.Inst)
@@ -403,7 +425,13 @@ func (m *Machine) coordinate(now uint64) {
 		}
 	}
 
-	// VLT reconfiguration.
+	// VLT reconfiguration. This is the machine's only scheduling decision
+	// point, so it doubles as the fork-point hook site: a ForkAt hook sees
+	// each repartition just before it is applied and may override the
+	// requested partition count (Fork-ing the machine first to explore the
+	// alternative it did not choose). The hook fires only once per
+	// decision — an applied VLTCFG has its DoneCycle set, so re-running
+	// coordinate on a forked machine re-presents only pending decisions.
 	if m.vu == nil {
 		return
 	}
@@ -419,7 +447,14 @@ func (m *Machine) coordinate(now uint64) {
 		if !m.vu.Drained(now) {
 			continue
 		}
-		n := u.Dyn.VltCfg
+		req := u.Dyn.VltCfg
+		n := req
+		if hook := m.cfg.ForkAt; hook != nil {
+			pt := ForkPoint{Index: m.decisionSeq, Cycle: now, Thread: t, Requested: req}
+			if c := hook(m, pt); c > 0 && m.validPartitionChoice(c) {
+				n = c
+			}
+		}
 		if cap(m.coordOwners) < n {
 			m.coordOwners = make([]int, n)
 		}
@@ -429,6 +464,15 @@ func (m *Machine) coordinate(now uint64) {
 		}
 		if err := m.vu.Partition(owners); err == nil {
 			u.DoneCycle = now
+			m.decisionSeq++
+			if n != req {
+				// The functional machine applied the *requested* count when
+				// it executed the VLTCFG; rewrite it now that the hook chose
+				// otherwise. Fetch in thread t is blocked behind the VLTCFG
+				// uop, so no later instruction of t has observed the
+				// requested value yet.
+				m.vm.Partitions = n
+			}
 		}
 	}
 }
@@ -563,34 +607,53 @@ func (m *Machine) skipTo(from, to uint64) {
 	}
 }
 
-// Run simulates to completion and returns the result, assembled from
-// the metric registry: every field that used to be hand-copied from a
-// component is now read back through its registered metric, so the
-// registry is the single source of truth for all exports.
-func (m *Machine) Run() (Result, error) {
-	var now uint64
+// runStage marks where within the current cycle the run loop stands.
+// The loop body is split at the coordinate step: a Fork taken from
+// inside a ForkAt hook (which fires during coordinate) leaves the clone
+// in stageCoord, so its resumed run re-enters at coordinate — which is
+// idempotent over already-applied decisions — instead of re-ticking the
+// components for a cycle they already executed.
+type runStage uint8
+
+const (
+	stageTick  runStage = iota // next: guards, injection, component ticks
+	stageCoord                 // ticked; next: coordinate and the cycle tail
+)
+
+// RunUntil simulates until the machine is done or the current cycle
+// reaches stop, whichever comes first (so RunUntil(c) on a fresh
+// machine executes cycles [0, c)). It may be called repeatedly; Fork a
+// machine mid-run to branch the simulation. Event-driven cycle
+// skipping never jumps past stop.
+func (m *Machine) RunUntil(stop uint64) error {
 	for !m.done() {
-		m.now = now
-		if now >= m.cfg.MaxCycles {
-			return Result{}, m.stallError("max-cycles", now, m.cfg.MaxCycles)
+		if m.now >= stop {
+			return nil
 		}
-		if m.watchdog.Observe(now, m.retiredTotal()) {
-			return Result{}, m.stallError("livelock", now, m.watchdog.Limit())
-		}
-		m.applyInjection(now, true)
-		if !m.frozen {
-			if m.vu != nil {
-				m.vu.Tick(now)
+		now := m.now
+		if m.stage == stageTick {
+			if now >= m.cfg.MaxCycles {
+				return m.stallError("max-cycles", now, m.cfg.MaxCycles)
 			}
-			for _, su := range m.sus {
-				su.Tick(now)
+			if m.watchdog.Observe(now, m.retiredTotal()) {
+				return m.stallError("livelock", now, m.watchdog.Limit())
 			}
-			for _, c := range m.lcs {
-				c.Tick(now)
+			m.applyInjection(now, true)
+			if !m.frozen {
+				if m.vu != nil {
+					m.vu.Tick(now)
+				}
+				for _, su := range m.sus {
+					su.Tick(now)
+				}
+				for _, c := range m.lcs {
+					c.Tick(now)
+				}
 			}
-		}
-		if err := m.err(); err != nil {
-			return Result{}, fmt.Errorf("core: %s: cycle %d: %w", m.cfg.Name, now, err)
+			if err := m.err(); err != nil {
+				return fmt.Errorf("core: %s: cycle %d: %w", m.cfg.Name, now, err)
+			}
+			m.stage = stageCoord
 		}
 		m.coordinate(now)
 		m.creditRegion(m.region[0], 1)
@@ -599,7 +662,7 @@ func (m *Machine) Run() (Result, error) {
 			if aerr := m.auditor.Check(now); aerr != nil {
 				aerr.Config = m.cfg.Name
 				aerr.Dump = m.dump(now)
-				return Result{}, aerr
+				return aerr
 			}
 		}
 		if m.sampler != nil {
@@ -621,13 +684,29 @@ func (m *Machine) Run() (Result, error) {
 			if retired := m.retiredTotal(); retired != m.skipRetired {
 				m.skipRetired = retired
 			} else if target := m.nextEventCycle(now); target > next && !m.done() {
-				m.skipTo(next, target)
-				next = target
+				if target > stop {
+					target = stop // a skip must not jump past the caller's stop cycle
+				}
+				if target > next {
+					m.skipTo(next, target)
+					next = target
+				}
 			}
 		}
-		now = next
+		m.now = next
+		m.stage = stageTick
 	}
-	m.now = now // the registry's machine.cycles reads the final count
+	return nil
+}
+
+// Run simulates to completion and returns the result, assembled from
+// the metric registry: every field that used to be hand-copied from a
+// component is now read back through its registered metric, so the
+// registry is the single source of truth for all exports.
+func (m *Machine) Run() (Result, error) {
+	if err := m.RunUntil(pipe.NeverDone); err != nil {
+		return Result{}, err
+	}
 	m.flushRegion()
 
 	snap := m.reg.Snapshot()

@@ -1,0 +1,50 @@
+package lane
+
+import (
+	"testing"
+
+	"vlt/internal/clonecheck"
+)
+
+// Clone-semantics declaration for the lane core; clonecheck fails this
+// test when a field is added without one, so Clone cannot silently
+// fall out of date.
+
+func TestCloneCoversCore(t *testing.T) {
+	clonecheck.Check(t, &Core{}, map[string]string{
+		"ID":     "value copy",
+		"cfg":    "value copy",
+		"vmach":  "rebased onto the caller's cloned VM",
+		"icache": "deep copy, rebased onto the caller's cloned L2",
+		"l2":     "rebased onto the caller's cloned L2",
+		"pred":   "deep copy",
+
+		"tid":    "value copy",
+		"active": "value copy",
+
+		"fetchQ": "rebuilt via Cloner.Uop, preserving positional nil holes",
+		"rob":    "rebuilt via Cloner.Uop onto a fresh base array",
+		"robArr": "fresh base array at the original capacity (rob rebased at offset 0)",
+
+		"regScratch": "reset: per-fetch scratch",
+		"arena":      "reset: fresh slab, registered with the Cloner so cloned uops land here",
+
+		"lastWriter": "per-register map through Cloner.Uop",
+
+		"haltFetched":   "value copy",
+		"pendingBranch": "mapped through Cloner.Uop (aliases a ROB entry)",
+		"blockedUop":    "mapped through Cloner.Uop (aliases a ROB entry)",
+		"stallUntil":    "value copy",
+		"curLine":       "value copy",
+
+		"OnRetire": "re-wired by core.Machine.Fork (closure must capture the fork)",
+		"Err":      "value copy",
+
+		"Fetched": "value copy",
+		"Issued":  "value copy",
+		"Retired": "value copy",
+
+		"StallOperand": "value copy",
+		"StallMemPort": "value copy",
+	})
+}

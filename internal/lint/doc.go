@@ -7,7 +7,11 @@
 //   - no wall-clock reads (time.Now and friends) inside the simulation
 //     core packages;
 //   - no math/rand (seeded or not) inside the core: all pseudo-random
-//     data generation lives in workloads with fixed seeds;
+//     data generation lives in workloads with fixed seeds. The one
+//     exception is internal/search, whose Sample policy may build
+//     explicitly seeded sources — there the rand-global rule bans every
+//     draw from the process-global source (rand.Intn, rand.Perm, ...),
+//     permitting only rand.New and rand.NewSource;
 //   - no range over a map inside the core: map iteration order is
 //     randomized by the runtime, so every iteration must go through
 //     sorted keys (the one sanctioned helper carries an ignore

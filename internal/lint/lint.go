@@ -15,10 +15,11 @@ import (
 
 // Rule names, used in findings and ignore directives.
 const (
-	RuleWallClock = "wall-clock"
-	RuleMathRand  = "math-rand"
-	RuleMapRange  = "map-range"
-	RuleGoroutine = "goroutine"
+	RuleWallClock  = "wall-clock"
+	RuleMathRand   = "math-rand"
+	RuleMapRange   = "map-range"
+	RuleGoroutine  = "goroutine"
+	RuleRandGlobal = "rand-global"
 )
 
 // contractPkgs are the simulation-core import paths subject to the
@@ -35,6 +36,21 @@ var contractPkgs = map[string]bool{
 
 // goroutinePkg is the only package allowed to spawn goroutines.
 const goroutinePkg = "vlt/internal/runner"
+
+// searchPkg is the one non-workload package granted math/rand: the
+// design-space search driver's Sample policy draws from an explicitly
+// seeded source. The grant is narrow — the rand-global rule bans every
+// package-level rand function there (rand.Intn, rand.Perm, rand.Shuffle,
+// ...), because those hit the process-global, auto-seeded source and
+// would make search results irreproducible. Only constructing a seeded
+// source (rand.New, rand.NewSource) is allowed.
+const searchPkg = "vlt/internal/search"
+
+// randCtors are the math/rand selectors permitted in searchPkg: source
+// construction only, never draws from the global source.
+var randCtors = map[string]bool{
+	"New": true, "NewSource": true,
+}
 
 // wallClockFuncs are the time-package functions that read the wall
 // clock or schedule against it.
@@ -220,6 +236,7 @@ func (l *linter) lintDir(rel string) ([]Finding, error) {
 		linter:   l,
 		pkg:      path,
 		contract: contractPkgs[path],
+		search:   path == searchPkg,
 		info:     info,
 	}
 	var findings []Finding
@@ -304,6 +321,7 @@ type checker struct {
 	*linter
 	pkg      string
 	contract bool
+	search   bool // searchPkg: math/rand allowed, global source banned
 	info     *types.Info
 
 	ignores map[int][]string // line -> rules suppressed on that line
@@ -357,6 +375,10 @@ func (c *checker) file(f *ast.File) []Finding {
 				emit(n.Pos(), RuleWallClock,
 					"time.%s in core package %s: simulated time must come from the cycle counter", n.Sel.Name, c.pkg)
 			}
+			if c.search && c.isRandPkg(n.X) && !randCtors[n.Sel.Name] {
+				emit(n.Pos(), RuleRandGlobal,
+					"rand.%s draws from the process-global source: build a seeded *rand.Rand with rand.New(rand.NewSource(seed)) so search results replay", n.Sel.Name)
+			}
 		}
 		return true
 	})
@@ -388,6 +410,25 @@ func (c *checker) isTimePkg(expr ast.Expr) bool {
 	}
 	// Fallback when type info is incomplete: match the bare name.
 	return id.Name == "time"
+}
+
+// isRandPkg reports whether expr is an identifier bound to an imported
+// math/rand package (robust against renamed imports; a *rand.Rand
+// variable resolves to a Var, not a PkgName, and is not matched).
+func (c *checker) isRandPkg(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := c.info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			p := pn.Imported().Path()
+			return p == "math/rand" || p == "math/rand/v2"
+		}
+		return false
+	}
+	// Fallback when type info is incomplete: match the bare name.
+	return id.Name == "rand"
 }
 
 func (c *checker) suppressed(line int, rule string) bool {

@@ -293,6 +293,80 @@ func J() int { return rand.Int() }
 	}
 }
 
+// TestRandGlobalInSearch: internal/search may import math/rand, but a
+// draw from the global source is a broken fixture the new rule must
+// catch.
+func TestRandGlobalInSearch(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/search/pick.go": `package search
+
+import "math/rand"
+
+func Pick(n int) int { return rand.Intn(n) }
+`,
+	})
+	fs := mustRun(t, root)
+	if !hasRule(fs, RuleRandGlobal, "internal/search/pick.go", 5) {
+		t.Errorf("missing rand-global finding: %v", fs)
+	}
+	if hasRule(fs, RuleMathRand, "internal/search/pick.go", -1) {
+		t.Errorf("math-rand import ban must not bind internal/search: %v", fs)
+	}
+}
+
+// TestRandSeededInSearchClean: the sanctioned pattern — an explicitly
+// seeded source, drawn through the local *rand.Rand — lints clean.
+func TestRandSeededInSearchClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/search/pick.go": `package search
+
+import "math/rand"
+
+func Pick(n int, seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+`,
+	})
+	if fs := mustRun(t, root); len(fs) != 0 {
+		t.Errorf("seeded source should be clean: %v", fs)
+	}
+}
+
+// TestRandGlobalRenamedImport: the rule resolves the package identity,
+// not the identifier spelling.
+func TestRandGlobalRenamedImport(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/search/pick.go": `package search
+
+import mrand "math/rand"
+
+func Pick(n int) int { return mrand.Intn(n) }
+`,
+	})
+	fs := mustRun(t, root)
+	if !hasRule(fs, RuleRandGlobal, "internal/search/pick.go", 5) {
+		t.Errorf("missing rand-global finding for renamed import: %v", fs)
+	}
+}
+
+// TestRandGlobalOnlyInSearch: outside internal/search and the core the
+// rule stays quiet (cmd tools and workloads keep their own policies).
+func TestRandGlobalOnlyInSearch(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/report/pick.go": `package report
+
+import "math/rand"
+
+func Pick(n int) int { return rand.Intn(n) }
+`,
+	})
+	fs := mustRun(t, root)
+	if hasRule(fs, RuleRandGlobal, "internal/report/pick.go", -1) {
+		t.Errorf("rand-global must only bind internal/search: %v", fs)
+	}
+}
+
 func TestFindModuleRoot(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"internal/core/core.go": "package core\n",

@@ -1,0 +1,45 @@
+package mem
+
+// This file implements deep copying of the cache hierarchy for machine
+// forking (core.Machine.Fork). Caches are pure state — tag arrays, LRU
+// stamps, bank-port schedules and counters — so cloning is a field-wise
+// deep copy; the only cross-object edge is an L1's pointer to the
+// shared L2, which the caller rebases onto the clone's L2.
+
+// Clone returns a deep copy of the tag array.
+func (c *Cache) Clone() *Cache {
+	return &Cache{
+		sets:      c.sets,
+		assoc:     c.assoc,
+		lineShift: c.lineShift,
+		tags:      append([]uint64(nil), c.tags...),
+		stamp:     append([]uint64(nil), c.stamp...),
+		clock:     c.clock,
+		Hits:      c.Hits,
+		Misses:    c.Misses,
+	}
+}
+
+// Clone returns a deep copy of the shared L2, including the per
+// bank-port next-free schedule that carries in-flight request timing.
+func (l *L2) Clone() *L2 {
+	return &L2{
+		cfg:        l.cfg,
+		cache:      l.cache.Clone(),
+		free:       append([]uint64(nil), l.free...),
+		Reads:      l.Reads,
+		Writes:     l.Writes,
+		BankStalls: l.BankStalls,
+	}
+}
+
+// Clone returns a deep copy of the L1 backed by the given (cloned) L2.
+func (l *L1) Clone(l2 *L2) *L1 {
+	return &L1{
+		cfg:      l.cfg,
+		cache:    l.cache.Clone(),
+		l2:       l2,
+		Accesses: l.Accesses,
+		MissTo2:  l.MissTo2,
+	}
+}

@@ -1,0 +1,15 @@
+// Package search explores the lane-repartition design space of a VLT
+// machine by speculative simulation. It builds on core.Machine.Fork: a
+// single run proceeds down the program's own VLTCFG choices while a
+// ForkAt hook forks the machine at each repartition decision and steers
+// every copy down an alternative partition count. Each fork is an
+// O(state) snapshot, so exploring a choice costs only the simulation
+// from that decision onward — never a replay of the prefix.
+//
+// The driver is wave-synchronized and deterministic: every job in a
+// wave runs to completion (on internal/runner's pool), its spawned
+// children are collected in plan order, a Policy selects which
+// children survive, and the next wave starts. A fixed machine builder,
+// policy and budget always produce the identical Outcome, regardless
+// of worker count or goroutine scheduling.
+package search

@@ -1,0 +1,200 @@
+package search
+
+import (
+	"fmt"
+
+	"vlt/internal/core"
+	"vlt/internal/runner"
+)
+
+// Options tunes an Optimize call. The zero value is usable.
+type Options struct {
+	// Budget caps the total number of simulated runs, including the
+	// all-defaults root (0 = DefaultBudget). Speculative forks beyond
+	// the budget are discarded, never run.
+	Budget int
+	// Depth caps how many leading decisions are branched on; decisions
+	// past it always follow the program (0 = DefaultDepth).
+	Depth int
+	// Policy selects which runs' children each wave expands
+	// (nil = Exhaustive).
+	Policy Policy
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Search driver defaults.
+const (
+	DefaultBudget = 64
+	DefaultDepth  = 4
+)
+
+// job is one schedulable simulation: a machine snapshot (nil for the
+// root, which builds fresh) plus the decision plan steering it and the
+// decisions already taken on its inherited prefix.
+type job struct {
+	plan      []int
+	machine   *core.Machine
+	inherited []Decision
+}
+
+// jobResult carries one job's run and the children it forked.
+type jobResult struct {
+	run      Run
+	children []job
+}
+
+// Optimize explores the repartition decision space of the machine that
+// build constructs and returns every simulated run plus the best one.
+// The search is deterministic: a fixed builder, policy and budget
+// produce the identical Outcome for any worker count.
+//
+// The all-defaults root run is always simulated first and makes
+// exactly the choices an unhooked machine would, so Outcome.Best is
+// never worse than the program's own repartitioning.
+func Optimize(build func() (*core.Machine, error), opts Options) (Outcome, error) {
+	if opts.Budget <= 0 {
+		opts.Budget = DefaultBudget
+	}
+	if opts.Depth <= 0 {
+		opts.Depth = DefaultDepth
+	}
+	if opts.Policy == nil {
+		opts.Policy = Exhaustive{}
+	}
+
+	d := driver{build: build, opts: opts}
+	pool := runner.NewPool[string, jobResult](opts.Workers)
+	out := Outcome{}
+	seen := map[string]bool{}
+	wave := []job{{}} // the all-defaults root
+
+	for len(wave) > 0 {
+		// Budget truncation happens before submission, in deterministic
+		// wave order, so a discarded fork never consumes a worker.
+		if remaining := opts.Budget - out.Simulated; len(wave) > remaining {
+			out.Discarded += len(wave) - remaining
+			wave = wave[:remaining]
+		}
+		tasks := make([]*runner.Task[jobResult], len(wave))
+		for i, j := range wave {
+			j := j
+			tasks[i] = pool.Submit(planKey(j.plan), func() (jobResult, error) {
+				return d.runJob(j)
+			})
+		}
+		runs := make([]Run, len(wave))
+		children := make([][]job, len(wave))
+		for i, t := range tasks {
+			r, err := t.Wait()
+			if err != nil {
+				return out, err
+			}
+			runs[i] = r.run
+			children[i] = r.children
+			out.Runs = append(out.Runs, r.run)
+			out.Simulated++
+		}
+
+		var next []job
+		if out.Simulated < opts.Budget {
+			picked := map[int]bool{}
+			for _, i := range opts.Policy.Select(runs) {
+				if i >= 0 && i < len(runs) {
+					picked[i] = true
+				}
+			}
+			for i := range runs { // wave order, not map order: deterministic
+				if !picked[i] {
+					continue
+				}
+				for _, c := range children[i] {
+					if k := planKey(c.plan); !seen[k] {
+						seen[k] = true
+						next = append(next, c)
+					}
+				}
+			}
+			// Children of unselected runs are pruned, not budget-discarded:
+			// the policy chose to skip them.
+		}
+		wave = next
+	}
+
+	if len(out.Runs) == 0 {
+		return out, fmt.Errorf("search: budget %d admitted no runs", opts.Budget)
+	}
+	out.Best = out.Runs[0]
+	for _, r := range out.Runs[1:] {
+		if better(r, out.Best) {
+			out.Best = r
+		}
+	}
+	return out, nil
+}
+
+type driver struct {
+	build func() (*core.Machine, error)
+	opts  Options
+}
+
+// runJob simulates one plan to completion, forking a child at every
+// undecided decision shallower than Depth. It runs on a pool worker;
+// everything it touches — the machine, its forks, the accumulators —
+// is job-local, which is exactly the isolation Machine.Fork guarantees.
+func (d *driver) runJob(j job) (jobResult, error) {
+	m := j.machine
+	if m == nil {
+		var err error
+		if m, err = d.build(); err != nil {
+			return jobResult{}, err
+		}
+	}
+	res := jobResult{run: Run{Plan: j.plan}}
+	decisions := append([]Decision(nil), j.inherited...)
+	m.SetForkAt(func(mm *core.Machine, pt core.ForkPoint) int {
+		chosen := 0
+		switch {
+		case pt.Index < len(j.plan):
+			chosen = j.plan[pt.Index] // 0 entries mean "already decided: follow the program"
+		case pt.Index < d.opts.Depth:
+			// Undecided and shallow enough to branch: fork one child per
+			// alternative choice, then take the program's own choice
+			// ourselves — this run is the default-choice child.
+			for _, c := range mm.PartitionChoices() {
+				if c == pt.Requested {
+					continue
+				}
+				plan := make([]int, pt.Index+1)
+				copy(plan, j.plan)
+				plan[pt.Index] = c
+				// The fork resumes at this same decision and records it
+				// itself (its plan now covers the index), so it inherits
+				// only the decisions strictly before the fork point.
+				res.children = append(res.children, job{
+					plan:      plan,
+					machine:   mm.Fork(),
+					inherited: append([]Decision(nil), decisions...),
+				})
+			}
+		}
+		applied := chosen
+		if applied == 0 {
+			applied = pt.Requested
+		}
+		decisions = append(decisions, Decision{
+			Index: pt.Index, Cycle: pt.Cycle, Thread: pt.Thread,
+			Requested: pt.Requested, Chosen: applied,
+		})
+		return chosen
+	})
+	r, err := m.Run()
+	res.run.Decisions = decisions
+	if err != nil {
+		res.run.Failed = true
+		res.run.Err = err.Error()
+		return res, nil
+	}
+	res.run.Cycles = r.Cycles
+	return res, nil
+}

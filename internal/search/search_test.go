@@ -1,0 +1,167 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"vlt/internal/core"
+	"vlt/internal/workloads"
+)
+
+// buildMpenc returns a builder for the lane-reclamation benchmark on
+// V4-CMT — the cell with real VLTCFG decisions to search over.
+func buildMpenc(t *testing.T) func() (*core.Machine, error) {
+	t.Helper()
+	w, err := workloads.ByName("mpenc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.V4CMT()
+	prog := w.Build(workloads.Params{Threads: cfg.NumThreads})
+	return func() (*core.Machine, error) { return core.NewMachine(cfg, prog) }
+}
+
+func TestOptimizeExhaustive(t *testing.T) {
+	out, err := Optimize(buildMpenc(t), Options{Budget: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Simulated != len(out.Runs) {
+		t.Errorf("Simulated %d != len(Runs) %d", out.Simulated, len(out.Runs))
+	}
+	if len(out.Runs) < 3 {
+		t.Fatalf("exhaustive search explored only %d runs", len(out.Runs))
+	}
+	root := out.Runs[0]
+	if len(root.Plan) != 0 {
+		t.Errorf("first run must be the all-defaults root, got plan %v", root.Plan)
+	}
+	if root.Failed {
+		t.Fatalf("root run failed: %s", root.Err)
+	}
+	// The root makes the program's own choices, so the best run can
+	// never be worse than the unsearched machine.
+	if out.Best.Cycles > root.Cycles {
+		t.Errorf("best %d cycles worse than the default run's %d", out.Best.Cycles, root.Cycles)
+	}
+	for i, r := range out.Runs {
+		if r.Failed {
+			t.Errorf("run %d (plan %v) failed: %s", i, r.Plan, r.Err)
+		}
+		for j, d := range r.Decisions {
+			if d.Index != j {
+				t.Errorf("run %d decision %d has index %d", i, j, d.Index)
+			}
+			if j < len(r.Plan) && r.Plan[j] > 0 && d.Chosen != r.Plan[j] {
+				t.Errorf("run %d decision %d chose %d, plan says %d", i, j, d.Chosen, r.Plan[j])
+			}
+		}
+	}
+}
+
+// TestOptimizeDeterministic pins the driver's core contract: two
+// searches with identical options produce deeply equal outcomes, for
+// both serial and parallel pools and for the seeded sampling policy.
+func TestOptimizeDeterministic(t *testing.T) {
+	build := buildMpenc(t)
+	cases := []struct {
+		name string
+		opts func() Options
+	}{
+		{"exhaustive-serial", func() Options { return Options{Budget: 16, Workers: 1} }},
+		{"exhaustive-parallel", func() Options { return Options{Budget: 16, Workers: 4} }},
+		{"beam", func() Options { return Options{Budget: 16, Policy: Beam{Width: 1}} }},
+		{"sample", func() Options { return Options{Budget: 16, Policy: &Sample{K: 1, Seed: 42}} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := Optimize(build, tc.opts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Optimize(build, tc.opts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("outcomes differ across identical searches:\n%+v\nvs\n%+v", a, b)
+			}
+		})
+	}
+}
+
+func TestOptimizeBudget(t *testing.T) {
+	full, err := Optimize(buildMpenc(t), Options{Budget: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Discarded != 0 {
+		t.Fatalf("budget 64 should cover mpenc's whole tree, discarded %d", full.Discarded)
+	}
+	small, err := Optimize(buildMpenc(t), Options{Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Simulated > 4 {
+		t.Errorf("budget 4 simulated %d runs", small.Simulated)
+	}
+	if small.Discarded == 0 {
+		t.Errorf("truncated search reported no discarded forks")
+	}
+	// The truncated search's runs are a prefix of the full search's.
+	for i, r := range small.Runs {
+		if !reflect.DeepEqual(r, full.Runs[i]) {
+			t.Errorf("run %d differs between budgets: %+v vs %+v", i, r, full.Runs[i])
+		}
+	}
+}
+
+func TestOptimizeDepthZeroBranchesNothingPastDepth(t *testing.T) {
+	out, err := Optimize(buildMpenc(t), Options{Budget: 64, Depth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out.Runs {
+		if len(r.Plan) > 1 {
+			t.Errorf("depth 1 produced plan %v", r.Plan)
+		}
+	}
+}
+
+func TestBeamSelect(t *testing.T) {
+	wave := []Run{
+		{Plan: []int{2}, Cycles: 300},
+		{Plan: []int{4}, Cycles: 100},
+		{Plan: []int{1}, Cycles: 100},
+		{Plan: []int{3}, Failed: true},
+	}
+	got := Beam{Width: 2}.Select(wave)
+	// Ties on cycles break by plan order: [1] before [4].
+	want := []int{2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Beam.Select = %v, want %v", got, want)
+	}
+	if got := (Beam{Width: 10}).Select(wave); len(got) != len(wave) {
+		t.Errorf("oversized beam selected %d of %d", len(got), len(wave))
+	}
+}
+
+func TestSampleSelectDeterministic(t *testing.T) {
+	wave := make([]Run, 8)
+	a := (&Sample{K: 3, Seed: 7}).Select(wave)
+	b := (&Sample{K: 3, Seed: 7}).Select(wave)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed drew %v then %v", a, b)
+	}
+	s := &Sample{K: 3, Seed: 7}
+	s.Select(wave)
+	c := s.Select(wave) // second wave must use a different derived seed
+	if reflect.DeepEqual(a, c) {
+		t.Logf("wave 1 and 2 drew the same indices (possible, just unlikely): %v", a)
+	}
+	for _, i := range a {
+		if i < 0 || i >= len(wave) {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+}

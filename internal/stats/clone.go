@@ -1,0 +1,29 @@
+package stats
+
+// This file supports machine forking (core.Machine.Fork). A registry
+// cannot be cloned directly — its metrics are pointers and closures
+// over one machine's components — so a fork re-registers every metric
+// against the clone's components and then carries the sampler's
+// recorded series over with CloneInto.
+
+// NumMetrics returns the number of registered metrics in the
+// registry's underlying table (scoped views share the table, so the
+// count is registry-wide). The machine's guard auditor uses it to
+// detect registration after the run has started.
+func (r *Registry) NumMetrics() int { return len(r.table) }
+
+// CloneInto builds a copy of the sampler reading from registry r, with
+// the recorded series and the next-sample position carried over. r must
+// have the sampled metric names registered (a forked machine registers
+// the same name set as its parent); names missing from r are dropped,
+// exactly as in NewSampler.
+func (s *Sampler) CloneInto(r *Registry) *Sampler {
+	n := r.NewSampler(s.interval, s.names...)
+	n.next = s.next
+	n.cycles = append([]uint64(nil), s.cycles...)
+	n.rows = make([][]float64, len(s.rows))
+	for i, row := range s.rows {
+		n.rows[i] = append([]float64(nil), row...)
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"testing"
+
+	"vlt/internal/clonecheck"
+)
+
+// Clone-semantics declaration for the sampler (the one stats type
+// carried across a machine fork; the registry itself is re-registered,
+// not cloned — see CloneInto's doc).
+
+func TestCloneCoversSampler(t *testing.T) {
+	clonecheck.Check(t, &Sampler{}, map[string]string{
+		"reg":      "rebased: CloneInto re-resolves against the fork's registry",
+		"interval": "value copy via NewSampler",
+		"names":    "value copy via NewSampler (requested name list)",
+		"metrics":  "rebased: re-resolved metric handles on the fork's registry",
+		"next":     "value copy (next sample boundary carries over)",
+		"cycles":   "deep copy (recorded series)",
+		"rows":     "deep copy (recorded series)",
+	})
+}
+
+func TestSamplerCloneInto(t *testing.T) {
+	r := New()
+	var c1 uint64
+	r.Counter("a", &c1)
+	s := r.NewSampler(10, "a")
+	c1 = 3
+	s.Tick(0)
+	c1 = 8
+	s.Tick(10)
+
+	r2 := New()
+	var c2 uint64 = 100
+	r2.Counter("a", &c2)
+	n := s.CloneInto(r2)
+	if n.Len() != 2 {
+		t.Fatalf("recorded series not carried: %d rows", n.Len())
+	}
+	if _, row := n.Row(1); row[0] != 8 {
+		t.Errorf("row 1 = %v, want the parent's recorded 8", row)
+	}
+	if got := n.NextSample(); got != 20 {
+		t.Errorf("next sample boundary %d, want 20", got)
+	}
+	n.Tick(20) // must read the new registry's counter, not the old one's
+	if _, row := n.Row(2); row[0] != 100 {
+		t.Errorf("clone sampled %v, want the rebased registry's 100", row)
+	}
+	if s.Len() != 2 {
+		t.Errorf("clone tick reached the parent: %d rows", s.Len())
+	}
+}

@@ -100,6 +100,36 @@ printf '%s\nNOSKIPMARK\n%s\n' "$skipb" "$tickb" | awk '
         }
     }'
 
+echo "== fork overhead guard (BenchmarkFork vs BenchmarkReplayToForkPoint)"
+forkb=$(go test -run '^$' -bench 'BenchmarkFork$|BenchmarkReplayToForkPoint$' -benchtime 10x -count 3 .)
+printf '%s\n' "$forkb" | grep '^Benchmark'
+printf '%s\n' "$forkb" | awk '
+    $1 ~ /^BenchmarkReplayToForkPoint/ { if (rmin == 0 || $3 < rmin) rmin = $3; next }
+    $1 ~ /^BenchmarkFork/              { if (fmin == 0 || $3 < fmin) fmin = $3 }
+    END {
+        if (fmin == 0 || rmin == 0) {
+            print "guard: missing benchmark results" > "/dev/stderr"; exit 1
+        }
+        ratio = fmin / rmin
+        printf "guard: fork %.2fms, replay-to-fork-point %.2fms, fork/replay %.2f\n", \
+            fmin / 1e6, rmin / 1e6, ratio
+        # Fork is the search driver'\''s whole value proposition: an O(state)
+        # snapshot instead of re-simulating the 5000-cycle prefix. Measured
+        # ~0.06x on this cell; the 0.5x bound only trips if Fork degrades
+        # to the same order as replay (e.g. an accidental deep copy of the
+        # program or a per-uop re-simulation sneaking in).
+        if (ratio > 0.5) {
+            print "guard: forking costs more than half a prefix replay" > "/dev/stderr"; exit 1
+        }
+    }'
+
+echo "== vltsearch smoke (tiny exhaustive search, JSON fields, verified replay)"
+vs_out=$(go run ./cmd/vltsearch -workload mpenc -budget 6 -json)
+printf '%s\n' "$vs_out" | grep -q '"workload": "mpenc"'
+printf '%s\n' "$vs_out" | grep -q '"simulated": '
+printf '%s\n' "$vs_out" | grep -q '"verified": true'
+printf '%s\n' "$vs_out" | grep -q '"cycles"'
+
 echo "== vltd smoke (boot on an ephemeral port, healthz + one run, drained exit)"
 go build -o /tmp/vltd.check ./cmd/vltd
 /tmp/vltd.check -addr 127.0.0.1:0 >/tmp/vltd.check.out 2>&1 &
