@@ -8,16 +8,21 @@
 // Usage:
 //
 //	vltd [-addr 127.0.0.1:8317] [-jobs N] [-pending N] [-cache-bytes N]
-//	     [-timeout D] [-drain D]
+//	     [-timeout D] [-drain D] [-peers URL,URL,...]
+//
+// With -peers, sweep cells shard across the fleet by cell key: each
+// cell is computed on its owning node and unreachable peers degrade to
+// local recomputation (see internal/fleet).
 //
 // Endpoints:
 //
-//	GET /v1/run?workload=mxm&machine=base   one cell, full metric registry
-//	GET /v1/experiment?name=figure6         a paper figure/table by name
-//	GET /v1/workloads                       workload discovery
-//	GET /v1/machines                        machine discovery
-//	GET /healthz                            liveness
-//	GET /metricsz                           serving-layer metric registry
+//	GET  /v1/run?workload=mxm&machine=base  one cell, full metric registry
+//	POST /v1/sweep                          a grid of cells, streamed as NDJSON
+//	GET  /v1/experiment?name=figure6        a paper figure/table by name
+//	GET  /v1/workloads                      workload discovery
+//	GET  /v1/machines                       machine discovery
+//	GET  /healthz                           liveness (?ready=1 for readiness)
+//	GET  /metricsz                          serving-layer metric registry
 package main
 
 import (
@@ -30,9 +35,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime/debug"
+	"strings"
 	"syscall"
 	"time"
 
+	"vlt/internal/fleet"
 	"vlt/internal/report"
 	"vlt/internal/runner"
 	"vlt/internal/serve"
@@ -65,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "response cache byte budget")
 	timeout := fs.Duration("timeout", 60*time.Second, "default per-request wait deadline")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown grace period for in-flight simulations")
+	peers := fs.String("peers", "", "comma-separated peer base URLs to shard sweep cells across")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +93,22 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		CacheBytes: *cacheBytes,
 		Timeout:    *timeout,
 	})
+	if *peers != "" {
+		urls := strings.Split(*peers, ",")
+		for i, u := range urls {
+			u = strings.TrimSpace(u)
+			if u == "" || (!strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://")) {
+				fmt.Fprintf(stderr, "vltd: bad -peers entry %q: want http(s)://host:port\n", u)
+				return 2
+			}
+			urls[i] = u
+		}
+		s.SetFleet(fleet.New(fleet.Config{
+			Peers:    urls,
+			Registry: s.Registry().Scope("fleet"),
+		}))
+		fmt.Fprintf(stdout, "vltd: fleet of %d peers: %s\n", len(urls), strings.Join(urls, ", "))
+	}
 	hs := &http.Server{Handler: s.Handler()}
 	fmt.Fprintf(stdout, "vltd: listening on http://%s\n", ln.Addr())
 
@@ -107,6 +131,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		func() error {
 			select {
 			case sig := <-sigc:
+				// Flip readiness first: fleet health-checkers and load
+				// balancers see 503 on /healthz?ready=1 and stop routing
+				// new cells here while in-flight work drains.
+				s.BeginDrain()
 				fmt.Fprintf(stdout, "vltd: %v: draining in-flight simulations (up to %s)\n", sig, *drain)
 				ctx, cancel := context.WithTimeout(context.Background(), *drain)
 				defer cancel()

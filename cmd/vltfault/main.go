@@ -1,0 +1,112 @@
+// Command vltfault runs the internal/netfault chaos proxy standalone: a
+// TCP forwarder that injects faults (dropped connections, delays,
+// canned 503s, mid-body resets and truncations) between a client and a
+// vltd daemon with per-rule probabilities from a seeded source. It is
+// the manual counterpart of the chaos harness the e2e tests use: point
+// a vltd coordinator's -peers at a vltfault in front of a real peer and
+// watch the fleet's retries, breaker trips and local fallbacks on
+// /metricsz.
+//
+// Usage:
+//
+//	vltfault -target 127.0.0.1:8317 [-listen 127.0.0.1:0] [-seed N]
+//	         [-drop P] [-delay P] [-inject P] [-reset P] [-truncate P]
+//
+// On SIGINT/SIGTERM the proxy severs every live connection and prints
+// its fault tally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime/debug"
+	"syscall"
+	"time"
+
+	"vlt/internal/netfault"
+	"vlt/internal/report"
+	"vlt/internal/runner"
+	"vlt/internal/stats"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// signalNotify is indirect so the smoke test can inject a fake signal
+// instead of signalling the test process.
+var signalNotify = signal.Notify
+
+// run is the testable entry point: it parses args, proxies until a
+// termination signal, and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) (code int) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprint(stderr, report.Diagnose("vltfault",
+				&runner.PanicError{Key: "vltfault", Value: r, Stack: debug.Stack()}))
+			code = 1
+		}
+	}()
+
+	fs := flag.NewFlagSet("vltfault", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	target := fs.String("target", "", "upstream host:port to forward to (required)")
+	listen := fs.String("listen", "127.0.0.1:0", "proxy listen address (port 0 picks a free port)")
+	seed := fs.Int64("seed", 1, "fault-schedule seed")
+	drop := fs.Float64("drop", 0, "P(close the connection on accept)")
+	delay := fs.Float64("delay", 0, "P(stall the exchange)")
+	delayBy := fs.Duration("delay-by", 50*time.Millisecond, "stall duration for -delay")
+	inject := fs.Float64("inject", 0, "P(answer a canned 503 without forwarding)")
+	reset := fs.Float64("reset", 0, "P(cut the response with a TCP RST mid-body)")
+	truncate := fs.Float64("truncate", 0, "P(end the response cleanly mid-body)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "vltfault: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+	if *target == "" {
+		fmt.Fprintln(stderr, "vltfault: -target is required")
+		fs.Usage()
+		return 2
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", *drop}, {"delay", *delay}, {"inject", *inject}, {"reset", *reset}, {"truncate", *truncate}} {
+		if p.v < 0 || p.v > 1 {
+			fmt.Fprintf(stderr, "vltfault: -%s %v out of range [0, 1]\n", p.name, p.v)
+			return 2
+		}
+	}
+
+	reg := stats.New()
+	p, err := netfault.New(netfault.Config{
+		Target: *target, Listen: *listen, Seed: *seed,
+		Drop: *drop, Delay: *delay, DelayBy: *delayBy,
+		Inject: *inject, Reset: *reset, Truncate: *truncate,
+		Registry: reg,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "vltfault:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "vltfault: proxying %s -> %s (seed %d)\n", p.Addr(), *target, *seed)
+
+	sigc := make(chan os.Signal, 1)
+	signalNotify(sigc, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigc
+	fmt.Fprintf(stdout, "vltfault: %v: closing\n", sig)
+	if err := p.Close(); err != nil {
+		fmt.Fprintln(stderr, "vltfault:", err)
+		code = 1
+	}
+	fmt.Fprintf(stdout, "vltfault: shutdown complete (%d faults injected)\n%s",
+		p.Faults(), reg.Snapshot())
+	return code
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the
+// proxy's output while it runs.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestUsageErrors pins the exit codes for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{}, &out, &errb); code != 2 {
+		t.Fatalf("missing -target: exit %d, want 2", code)
+	}
+	if code := run([]string{"-target", "127.0.0.1:1", "-drop", "1.5"}, &out, &errb); code != 2 {
+		t.Fatalf("probability out of range: exit %d, want 2", code)
+	}
+	if code := run([]string{"-target", "127.0.0.1:1", "extra"}, &out, &errb); code != 2 {
+		t.Fatalf("positional arg: exit %d, want 2", code)
+	}
+}
+
+// TestProxyLifecycle boots the proxy in front of a stub upstream,
+// forwards one request through it, then delivers a (fake) SIGTERM and
+// verifies a clean exit with the fault tally.
+func TestProxyLifecycle(t *testing.T) {
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	}))
+	defer upstream.Close()
+	target := strings.TrimPrefix(upstream.URL, "http://")
+
+	sigc := make(chan chan<- os.Signal, 1)
+	signalNotify = func(c chan<- os.Signal, _ ...os.Signal) { sigc <- c }
+	defer func() { signalNotify = nil }()
+
+	var out, errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-target", target}, &out, &errb) }()
+
+	addrRE := regexp.MustCompile(`proxying ([^\s]+) ->`)
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("no proxying line; stdout=%q stderr=%q", out.String(), errb.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	sig := <-sigc
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET through proxy: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("proxied body = %q", body)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d; stderr=%q", code, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("proxy did not exit after SIGTERM")
+	}
+	if s := out.String(); !strings.Contains(s, "shutdown complete") || !strings.Contains(s, "forwarded 1") {
+		t.Fatalf("missing shutdown tally in output:\n%s", s)
+	}
+}

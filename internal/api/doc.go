@@ -1,0 +1,11 @@
+// Package api is the wire schema of the vltd serving layer: the one
+// typed error envelope, the request/response bodies of the /v1
+// endpoints, and the NDJSON cell envelope of /v1/sweep. It exists so
+// the server (internal/serve), the client (internal/vltclient) and the
+// fleet coordinator (internal/fleet) marshal and unmarshal exactly the
+// same shapes — an error decoded by the client is field-for-field the
+// error the server wrote, and a response body rendered locally as a
+// degraded-mode fallback is byte-identical to the body a healthy peer
+// would have served (RunResponseFrom + Marshal are the single render
+// path).
+package api

@@ -37,19 +37,32 @@ var contractPkgs = map[string]bool{
 // goroutinePkg is the only package allowed to spawn goroutines.
 const goroutinePkg = "vlt/internal/runner"
 
-// searchPkg is the one non-workload package granted math/rand: the
-// design-space search driver's Sample policy draws from an explicitly
-// seeded source. The grant is narrow — the rand-global rule bans every
-// package-level rand function there (rand.Intn, rand.Perm, rand.Shuffle,
-// ...), because those hit the process-global, auto-seeded source and
-// would make search results irreproducible. Only constructing a seeded
-// source (rand.New, rand.NewSource) is allowed.
-const searchPkg = "vlt/internal/search"
+// seededRandPkgs are the non-workload packages granted math/rand: the
+// design-space search driver (its Sample policy draws from a seeded
+// source), the chaos proxy (reproducible fault schedules), and the
+// daemon client (retry jitter). The grant is narrow — the rand-global
+// rule bans every package-level rand function there (rand.Intn,
+// rand.Perm, rand.Shuffle, ...), because those hit the process-global,
+// auto-seeded source and would make results irreproducible. Only
+// constructing a seeded source (rand.New, rand.NewSource) is allowed.
+var seededRandPkgs = map[string]bool{
+	"vlt/internal/search":    true,
+	"vlt/internal/netfault":  true,
+	"vlt/internal/vltclient": true,
+}
 
-// randCtors are the math/rand selectors permitted in searchPkg: source
-// construction only, never draws from the global source.
+// randCtors are the math/rand selectors permitted in seededRandPkgs:
+// source construction only, never draws from the global source.
 var randCtors = map[string]bool{
 	"New": true, "NewSource": true,
+}
+
+// randTypes are math/rand type names: naming a type (a *rand.Rand
+// struct field, a rand.Source parameter) is a declaration, not a draw.
+// Kept as an explicit set because the lenient typechecker stubs the
+// stdlib and cannot resolve these selectors to types.Object identities.
+var randTypes = map[string]bool{
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
 }
 
 // wallClockFuncs are the time-package functions that read the wall
@@ -236,7 +249,7 @@ func (l *linter) lintDir(rel string) ([]Finding, error) {
 		linter:   l,
 		pkg:      path,
 		contract: contractPkgs[path],
-		search:   path == searchPkg,
+		search:   seededRandPkgs[path],
 		info:     info,
 	}
 	var findings []Finding
@@ -321,7 +334,7 @@ type checker struct {
 	*linter
 	pkg      string
 	contract bool
-	search   bool // searchPkg: math/rand allowed, global source banned
+	search   bool // seededRandPkgs: math/rand allowed, global source banned
 	info     *types.Info
 
 	ignores map[int][]string // line -> rules suppressed on that line
@@ -375,7 +388,7 @@ func (c *checker) file(f *ast.File) []Finding {
 				emit(n.Pos(), RuleWallClock,
 					"time.%s in core package %s: simulated time must come from the cycle counter", n.Sel.Name, c.pkg)
 			}
-			if c.search && c.isRandPkg(n.X) && !randCtors[n.Sel.Name] {
+			if c.search && c.isRandPkg(n.X) && !randCtors[n.Sel.Name] && !randTypes[n.Sel.Name] {
 				emit(n.Pos(), RuleRandGlobal,
 					"rand.%s draws from the process-global source: build a seeded *rand.Rand with rand.New(rand.NewSource(seed)) so search results replay", n.Sel.Name)
 			}

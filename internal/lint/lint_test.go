@@ -367,6 +367,58 @@ func Pick(n int) int { return rand.Intn(n) }
 	}
 }
 
+// TestRandTypeNameClean: naming the rand.Rand type (a struct field
+// holding a seeded source) is not a draw and must lint clean.
+func TestRandTypeNameClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/search/pick.go": `package search
+
+import "math/rand"
+
+type policy struct{ rng *rand.Rand }
+
+func newPolicy(seed int64) *policy {
+	return &policy{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (p *policy) Pick(n int) int { return p.rng.Intn(n) }
+`,
+	})
+	if fs := mustRun(t, root); len(fs) != 0 {
+		t.Errorf("rand.Rand type reference should be clean: %v", fs)
+	}
+}
+
+// TestRandGlobalInSeededPeers: the chaos proxy and the daemon client
+// share internal/search's seeded-rand grant — math/rand is importable,
+// but the process-global source stays banned there too.
+func TestRandGlobalInSeededPeers(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/netfault/pick.go": `package netfault
+
+import "math/rand"
+
+func Pick(n int) int { return rand.Intn(n) }
+`,
+		"internal/vltclient/jitter.go": `package vltclient
+
+import "math/rand"
+
+func Jitter(seed, n int64) int64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int63n(n)
+}
+`,
+	})
+	fs := mustRun(t, root)
+	if !hasRule(fs, RuleRandGlobal, "internal/netfault/pick.go", 5) {
+		t.Errorf("missing rand-global finding in internal/netfault: %v", fs)
+	}
+	if hasRule(fs, RuleRandGlobal, "internal/vltclient/jitter.go", -1) {
+		t.Errorf("seeded source in internal/vltclient should be clean: %v", fs)
+	}
+}
+
 func TestFindModuleRoot(t *testing.T) {
 	root := writeTree(t, map[string]string{
 		"internal/core/core.go": "package core\n",

@@ -1,0 +1,297 @@
+package netfault
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vlt/internal/runner"
+	"vlt/internal/stats"
+)
+
+// Config tunes a Proxy. Target is required; every probability is in
+// [0, 1] and defaults to 0 (a fault-free forwarder).
+type Config struct {
+	// Target is the upstream host:port every connection forwards to.
+	Target string
+	// Listen is the proxy's own address (default "127.0.0.1:0").
+	Listen string
+	// Seed seeds the fault source (0 = 1). Decisions are drawn in a
+	// fixed rule order once per accepted connection, so a seed pins the
+	// fault schedule for a given connection sequence.
+	Seed int64
+
+	// Drop closes the connection immediately after accept.
+	Drop float64
+	// Delay stalls the whole exchange by DelayBy (default 50ms) first.
+	Delay   float64
+	DelayBy time.Duration
+	// Inject answers a canned 503 + Retry-After envelope, upstream untouched.
+	Inject float64
+	// Reset cuts the response off with a TCP RST after ResetAfter
+	// response bytes (default 64).
+	Reset      float64
+	ResetAfter int64
+	// Truncate ends the response cleanly after TruncateAfter response
+	// bytes (default 200).
+	Truncate      float64
+	TruncateAfter int64
+
+	// Registry, when non-nil, receives the accept and fault counters.
+	Registry *stats.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.DelayBy <= 0 {
+		c.DelayBy = 50 * time.Millisecond
+	}
+	if c.ResetAfter <= 0 {
+		c.ResetAfter = 64
+	}
+	if c.TruncateAfter <= 0 {
+		c.TruncateAfter = 200
+	}
+	return c
+}
+
+// fault is one per-connection decision.
+type fault int
+
+const (
+	faultNone fault = iota
+	faultDrop
+	faultDelay
+	faultInject
+	faultReset
+	faultTruncate
+)
+
+// injectBody is the canned 503 payload (the same typed envelope a real
+// overloaded vltd would send, so clients exercise their normal path).
+const injectBody = `{"error":{"code":"unavailable","message":"netfault: injected 503"}}` + "\n"
+
+// Proxy is a running chaos forwarder. Construct with New, point a
+// client at Base(), and Close to tear down every live connection.
+type Proxy struct {
+	cfg Config
+	ln  net.Listener
+	g   runner.Group
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed atomic.Bool
+
+	accepted, forwarded              uint64
+	drops, delays, injects           uint64
+	resets, truncates, upstreamFails uint64
+}
+
+// New starts a proxy forwarding to cfg.Target with cfg's fault rules.
+func New(cfg Config) (*Proxy, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("netfault: no target")
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		ln:    ln,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if cfg.Registry != nil {
+		cfg.Registry.Counter("accepted", &p.accepted)
+		cfg.Registry.Counter("forwarded", &p.forwarded)
+		cfg.Registry.Counter("drops", &p.drops)
+		cfg.Registry.Counter("delays", &p.delays)
+		cfg.Registry.Counter("injects", &p.injects)
+		cfg.Registry.Counter("resets", &p.resets)
+		cfg.Registry.Counter("truncates", &p.truncates)
+		cfg.Registry.Counter("upstream_fails", &p.upstreamFails)
+	}
+	p.g.Go("netfault.accept", p.acceptLoop)
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Base returns the proxy's base URL for HTTP clients.
+func (p *Proxy) Base() string { return "http://" + p.Addr() }
+
+// Faults reports the total faults injected so far.
+func (p *Proxy) Faults() uint64 {
+	return atomic.LoadUint64(&p.drops) + atomic.LoadUint64(&p.delays) +
+		atomic.LoadUint64(&p.injects) + atomic.LoadUint64(&p.resets) +
+		atomic.LoadUint64(&p.truncates)
+}
+
+// Close stops accepting, severs every live connection, and joins the
+// proxy's goroutines.
+func (p *Proxy) Close() error {
+	if !p.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.connMu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.connMu.Unlock()
+	p.g.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() error {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			if p.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		atomic.AddUint64(&p.accepted, 1)
+		p.track(conn)
+		p.g.Go("netfault.conn", func() error { p.handle(conn); return nil })
+	}
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.connMu.Lock()
+	p.conns[c] = struct{}{}
+	p.connMu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.connMu.Lock()
+	delete(p.conns, c)
+	p.connMu.Unlock()
+	c.Close()
+}
+
+// pick draws this connection's fault. Rules are tested in a fixed
+// order (drop, inject, reset, truncate, delay) with independent
+// probabilities; the first that fires wins, so one connection suffers
+// at most one fault and a seed reproduces the same decision sequence.
+func (p *Proxy) pick() fault {
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	for _, rule := range []struct {
+		prob float64
+		f    fault
+	}{
+		{p.cfg.Drop, faultDrop},
+		{p.cfg.Inject, faultInject},
+		{p.cfg.Reset, faultReset},
+		{p.cfg.Truncate, faultTruncate},
+		{p.cfg.Delay, faultDelay},
+	} {
+		if rule.prob > 0 && p.rng.Float64() < rule.prob {
+			return rule.f
+		}
+	}
+	return faultNone
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.untrack(client)
+	switch f := p.pick(); f {
+	case faultDrop:
+		atomic.AddUint64(&p.drops, 1)
+		return
+	case faultInject:
+		atomic.AddUint64(&p.injects, 1)
+		p.inject(client)
+		return
+	case faultDelay:
+		atomic.AddUint64(&p.delays, 1)
+		time.Sleep(p.cfg.DelayBy)
+		p.forward(client, faultNone)
+	default:
+		p.forward(client, f)
+	}
+}
+
+// inject reads the request head, then answers the canned 503.
+func (p *Proxy) inject(client net.Conn) {
+	// Consume up to the header terminator (or 8 KiB) so the client does
+	// not see a reset while still writing its request.
+	buf := make([]byte, 8<<10)
+	var got []byte
+	for len(got) < len(buf) {
+		n, err := client.Read(buf[len(got):])
+		got = buf[:len(got)+n]
+		if err != nil || containsCRLFCRLF(got) {
+			break
+		}
+	}
+	fmt.Fprintf(client, "HTTP/1.1 503 Service Unavailable\r\n"+
+		"Content-Type: application/json\r\nRetry-After: 0\r\n"+
+		"Content-Length: %d\r\nConnection: close\r\n\r\n%s", len(injectBody), injectBody)
+}
+
+func containsCRLFCRLF(b []byte) bool {
+	for i := 0; i+3 < len(b); i++ {
+		if b[i] == '\r' && b[i+1] == '\n' && b[i+2] == '\r' && b[i+3] == '\n' {
+			return true
+		}
+	}
+	return false
+}
+
+// forward proxies the exchange, applying a mid-response fault if set.
+// Either side finishing tears down both connections: a chaos proxy has
+// no reason to linger on half-closed sockets.
+func (p *Proxy) forward(client net.Conn, f fault) {
+	upstream, err := net.Dial("tcp", p.cfg.Target)
+	if err != nil {
+		atomic.AddUint64(&p.upstreamFails, 1)
+		return
+	}
+	p.track(upstream)
+	defer p.untrack(upstream)
+	runner.Parallel(
+		func() error { // request path: client -> upstream
+			io.Copy(upstream, client)
+			upstream.Close()
+			client.Close()
+			return nil
+		},
+		func() error { // response path: upstream -> client, faultable
+			switch f {
+			case faultReset:
+				io.CopyN(client, upstream, p.cfg.ResetAfter)
+				atomic.AddUint64(&p.resets, 1)
+				if tc, ok := client.(*net.TCPConn); ok {
+					tc.SetLinger(0) // unread data pending => close sends RST
+				}
+			case faultTruncate:
+				io.CopyN(client, upstream, p.cfg.TruncateAfter)
+				atomic.AddUint64(&p.truncates, 1)
+			default:
+				io.Copy(client, upstream)
+				atomic.AddUint64(&p.forwarded, 1)
+			}
+			client.Close()
+			upstream.Close()
+			return nil
+		},
+	)
+}

@@ -1,0 +1,220 @@
+package netfault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vlt/internal/stats"
+)
+
+// upstream serves a fixed body on every path.
+func upstream(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// target strips the scheme off an httptest URL.
+func target(srv *httptest.Server) string {
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+// client returns an HTTP client that opens a fresh connection per
+// request, so per-connection faults are per-request faults.
+func client() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+}
+
+func TestTransparentForwarding(t *testing.T) {
+	srv := upstream(t, "hello from upstream\n")
+	p, err := New(Config{Target: target(srv)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c := client()
+	for i := 0; i < 3; i++ {
+		resp, err := c.Get(p.Base() + "/anything")
+		if err != nil {
+			t.Fatalf("GET %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(body) != "hello from upstream\n" {
+			t.Fatalf("body = %q", body)
+		}
+	}
+	if p.Faults() != 0 {
+		t.Fatalf("fault-free proxy injected %d faults", p.Faults())
+	}
+}
+
+func TestDropKillsConnection(t *testing.T) {
+	srv := upstream(t, "x")
+	p, err := New(Config{Target: target(srv), Drop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := client().Get(p.Base() + "/"); err == nil {
+		t.Fatal("dropped connection produced a response")
+	}
+	p.Close() // join the connection goroutines before reading the tally
+	if p.drops == 0 {
+		t.Fatal("drop counter did not move")
+	}
+}
+
+func TestInjectReturnsTyped503(t *testing.T) {
+	srv := upstream(t, "x")
+	reg := stats.New()
+	p, err := New(Config{Target: target(srv), Inject: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := client().Get(p.Base() + "/v1/run")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("injected 503 carries no Retry-After")
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `"unavailable"`) {
+		t.Fatalf("injected body = %q, want typed envelope", body)
+	}
+	if reg.Snapshot().Uint("injects") != 1 {
+		t.Fatalf("injects counter = %d, want 1", reg.Snapshot().Uint("injects"))
+	}
+}
+
+func TestTruncateCutsBodyShort(t *testing.T) {
+	long := strings.Repeat("0123456789", 400) // 4000 bytes
+	srv := upstream(t, long)
+	p, err := New(Config{Target: target(srv), Truncate: 1, TruncateAfter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := client().Get(p.Base() + "/")
+	if err != nil {
+		// The truncation may already hit inside the header block.
+		return
+	}
+	defer resp.Body.Close()
+	body, readErr := io.ReadAll(resp.Body)
+	if readErr == nil && len(body) >= len(long) {
+		t.Fatalf("read the full %d-byte body through a truncating proxy", len(body))
+	}
+	resp.Body.Close()
+	p.Close() // join the connection goroutines before reading the tally
+	if p.truncates != 1 {
+		t.Fatalf("truncates counter = %d, want 1", p.truncates)
+	}
+}
+
+func TestResetBreaksRead(t *testing.T) {
+	long := strings.Repeat("abcdefghij", 400)
+	srv := upstream(t, long)
+	p, err := New(Config{Target: target(srv), Reset: 1, ResetAfter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := client().Get(p.Base() + "/")
+	if err != nil {
+		return // reset landed before the header block completed
+	}
+	defer resp.Body.Close()
+	if body, err := io.ReadAll(resp.Body); err == nil && len(body) >= len(long) {
+		t.Fatalf("read the full body through a resetting proxy")
+	}
+}
+
+func TestSeededFaultScheduleIsReproducible(t *testing.T) {
+	srv := upstream(t, "payload\n")
+	cfg := Config{Target: target(srv), Seed: 42, Drop: 0.3, Inject: 0.3}
+	run := func() (drops, injects, forwarded uint64) {
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		c := client()
+		// Sequential requests: connection order (and so the draw order)
+		// is deterministic.
+		for i := 0; i < 40; i++ {
+			resp, err := c.Get(p.Base() + "/")
+			if err != nil {
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		// Close joins every connection goroutine (it is idempotent, so
+		// the deferred call stays a no-op): the tally is quiescent.
+		p.Close()
+		return p.drops, p.injects, p.forwarded
+	}
+	d1, i1, f1 := run()
+	d2, i2, f2 := run()
+	if d1 != d2 || i1 != i2 || f1 != f2 {
+		t.Fatalf("same seed, different schedule: (%d,%d,%d) vs (%d,%d,%d)", d1, i1, f1, d2, i2, f2)
+	}
+	if d1 == 0 || i1 == 0 || f1 == 0 {
+		t.Fatalf("expected a mix of outcomes over 40 draws, got drops=%d injects=%d forwarded=%d", d1, i1, f1)
+	}
+}
+
+func TestCloseSeversLiveConnections(t *testing.T) {
+	// An upstream that never answers: the proxied connection would hang
+	// forever unless Close severs it.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+	p, err := New(Config{Target: target(srv)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := client()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := c.Get(p.Base() + "/hang")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the request reach the upstream
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left a proxied connection alive")
+	}
+}

@@ -1,0 +1,73 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGroupJoinsAndCollectsErrors: a zero-value Group runs every job,
+// Wait joins them all and reports only the failures.
+func TestGroupJoinsAndCollectsErrors(t *testing.T) {
+	var g Group
+	var ran int32
+	boom := errors.New("boom")
+	for i := 0; i < 8; i++ {
+		i := i
+		g.Go(fmt.Sprintf("job-%d", i), func() error {
+			atomic.AddInt32(&ran, 1)
+			if i%4 == 0 {
+				return boom
+			}
+			return nil
+		})
+	}
+	errs := g.Wait()
+	if got := atomic.LoadInt32(&ran); got != 8 {
+		t.Fatalf("ran %d jobs, want 8", got)
+	}
+	if len(errs) != 2 {
+		t.Fatalf("Wait reported %d errors, want 2: %v", len(errs), errs)
+	}
+	for _, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+}
+
+// TestGroupIsolatesPanics: a panicking job becomes a *PanicError naming
+// its key; sibling jobs are unaffected.
+func TestGroupIsolatesPanics(t *testing.T) {
+	var g Group
+	var survived int32
+	g.Go("doomed", func() error { panic("wedged") })
+	g.Go("fine", func() error { atomic.AddInt32(&survived, 1); return nil })
+	errs := g.Wait()
+	if atomic.LoadInt32(&survived) != 1 {
+		t.Fatal("sibling job did not run to completion")
+	}
+	if len(errs) != 1 {
+		t.Fatalf("%d errors, want 1: %v", len(errs), errs)
+	}
+	var pe *PanicError
+	if !errors.As(errs[0], &pe) || pe.Key != "doomed" {
+		t.Fatalf("error %v is not the doomed job's PanicError", errs[0])
+	}
+}
+
+// TestGroupWaitInPhases: Go after Wait is legal and the error list is
+// cumulative, matching a daemon that drains in stages.
+func TestGroupWaitInPhases(t *testing.T) {
+	var g Group
+	g.Go("first", func() error { return errors.New("first failed") })
+	if errs := g.Wait(); len(errs) != 1 {
+		t.Fatalf("phase 1: %d errors, want 1", len(errs))
+	}
+	g.Go("second", func() error { return errors.New("second failed") })
+	errs := g.Wait()
+	if len(errs) != 2 {
+		t.Fatalf("phase 2: %d cumulative errors, want 2: %v", len(errs), errs)
+	}
+}

@@ -11,9 +11,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vlt"
+	"vlt/internal/api"
 	"vlt/internal/report"
 	"vlt/internal/runner"
 	"vlt/internal/stats"
@@ -62,6 +64,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Fleet computes one cell's response body somewhere in a fleet: on the
+// peer that owns the cell's key, or through the local fallback closure
+// the caller provides when the owner is unreachable. internal/fleet
+// implements it; the serve package only defines the seam so the
+// dependency points outward.
+type Fleet interface {
+	Compute(ctx context.Context, key string, req api.RunRequest, local func() ([]byte, error)) ([]byte, error)
+}
+
 // Server serves simulation and experiment requests over the vlt engine
 // layers. Construct with New, mount Handler on an http.Server, and
 // drain with the http.Server's Shutdown: every admitted simulation runs
@@ -74,6 +85,13 @@ type Server struct {
 	reg    *stats.Registry
 	mux    *http.ServeMux
 	start  time.Time
+	fleet  Fleet
+
+	// ready flips on once construction completes (and can be driven by
+	// SetReady); draining flips on at BeginDrain. Both feed the
+	// readiness form of /healthz, never the liveness form.
+	ready    atomic.Bool
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	requests uint64 // HTTP requests served, by endpoint outcome
@@ -87,6 +105,9 @@ type Server struct {
 }
 
 // New builds a Server with its cache, flight group and metric registry.
+// The returned server is ready (its caches and engine wiring exist
+// before New returns); a wrapper that needs a warm-up window can park it
+// with SetReady(false) and flip it back after init.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -111,13 +132,21 @@ func New(cfg Config) *Server {
 	httpScope.CounterFn("requests", func() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.requests })
 	httpScope.CounterFn("failures", func() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.failures })
 	scope.Gauge("uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+	scope.Gauge("ready", func() float64 {
+		if s.Ready() {
+			return 1
+		}
+		return 0
+	})
 
 	s.mux.HandleFunc("/v1/run", s.handleRun)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/experiment", s.handleExperiment)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/v1/machines", s.handleMachines)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricsz", s.handleMetricsz)
+	s.ready.Store(true)
 	return s
 }
 
@@ -127,25 +156,35 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry returns the server's metric registry (the /metricsz source).
 func (s *Server) Registry() *stats.Registry { return s.reg }
 
-// apiError is the typed JSON error envelope: a stable machine-readable
-// code, a one-line message, and — for simulation and verification
-// failures — the full report.Diagnose text.
+// SetFleet installs a fleet coordinator: /v1/sweep cells are then
+// computed through it (sharded to the peer owning each cell key, with
+// local fallback). /v1/run always computes locally, so a peer serving a
+// coordinator's cell can never bounce it onward — the fleet graph has no
+// cycles by construction.
+func (s *Server) SetFleet(f Fleet) { s.fleet = f }
+
+// SetReady overrides the readiness state reported by /healthz?ready=1.
+// Liveness is unaffected.
+func (s *Server) SetReady(ok bool) { s.ready.Store(ok) }
+
+// BeginDrain marks the server draining: /healthz?ready=1 answers 503 so
+// fleet health-checkers and load balancers stop routing new work here,
+// while in-flight requests (and liveness) are unaffected. Call it
+// before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Ready reports the readiness state: constructed, not draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// apiError pairs the wire error envelope (internal/api) with the HTTP
+// status it travels under. statusClientGone is the sentinel for "the
+// client disconnected; there is nobody to write to".
 type apiError struct {
-	status     int    // HTTP status, not serialized
-	Code       string `json:"code"`
-	Message    string `json:"message"`
-	Diagnostic string `json:"diagnostic,omitempty"`
+	status int
+	api.Error
 }
 
-// Error codes carried by apiError.Code.
-const (
-	codeBadRequest = "bad_request"
-	codeNotFound   = "not_found"
-	codeVetFailed  = "vet_failed"
-	codeOverloaded = "overloaded"
-	codeTimeout    = "timeout"
-	codeSimFailed  = "simulation_failed"
-)
+const statusClientGone = 499
 
 func (s *Server) count(status int) {
 	s.mu.Lock()
@@ -156,11 +195,18 @@ func (s *Server) count(status int) {
 	s.mu.Unlock()
 }
 
+// retryAfterSeconds is the Retry-After hint for 429/503 responses,
+// rounded up to whole seconds.
+func (s *Server) retryAfterSeconds() int {
+	return int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+}
+
 func (s *Server) writeError(w http.ResponseWriter, e apiError) {
-	body, _ := json.Marshal(struct {
-		Error apiError `json:"error"`
-	}{e})
+	body, _ := json.Marshal(api.Envelope{Error: e.Error})
 	w.Header().Set("Content-Type", "application/json")
+	if e.status == http.StatusTooManyRequests || e.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
 	w.WriteHeader(e.status)
 	w.Write(append(body, '\n'))
 	s.count(e.status)
@@ -170,7 +216,7 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
 		s.writeError(w, apiError{status: http.StatusInternalServerError,
-			Code: codeSimFailed, Message: err.Error()})
+			Error: api.Error{Code: api.CodeSimFailed, Message: err.Error()}})
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -192,22 +238,22 @@ func (s *Server) writeBody(w http.ResponseWriter, body []byte, cached bool) {
 	s.count(http.StatusOK)
 }
 
-// serveKeyed is the shared admission path of /v1/run and /v1/experiment:
-// cache lookup, an optional pre-admission check on the miss path (the
-// run endpoint vets the program there), single-flight coalescing, load
-// shedding at the pending bound, and a deadline on the wait (never on
-// the execution — an abandoned job still completes and populates the
-// cache).
-func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key string,
-	precheck func() *apiError, render func() ([]byte, error)) {
+// computeKeyed is the admission path of the single-response endpoints:
+// response-cache lookup, an optional pre-admission check on the miss
+// path (the run path vets the program there), single-flight coalescing,
+// load shedding at the pending bound, and a deadline on the wait (never
+// on the execution — an abandoned job still completes and populates the
+// cache). The sweep stream's per-cell path (submitCell) shares the same
+// cache, flight group and error mapping but blocks at the admission
+// bound instead of shedding.
+func (s *Server) computeKeyed(ctx context.Context, key string, d time.Duration,
+	precheck func() *apiError, render func() ([]byte, error)) (body []byte, cached bool, aerr *apiError) {
 	if body, ok := s.cache.Get(key); ok {
-		s.writeBody(w, body, true)
-		return
+		return body, true, nil
 	}
 	if precheck != nil {
 		if e := precheck(); e != nil {
-			s.writeError(w, *e)
-			return
+			return nil, false, e
 		}
 	}
 	task, _, admitted := s.flight.TrySubmit(key, func() ([]byte, error) {
@@ -219,28 +265,51 @@ func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key string,
 		return body, nil
 	})
 	if !admitted {
-		retry := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		s.writeError(w, apiError{status: http.StatusTooManyRequests, Code: codeOverloaded,
-			Message: fmt.Sprintf("at capacity: %d requests in flight; retry after %ds",
-				s.flight.Inflight(), retry)})
-		return
+		return nil, false, &apiError{status: http.StatusTooManyRequests,
+			Error: api.Error{Code: api.CodeOverloaded,
+				Message: fmt.Sprintf("at capacity: %d requests in flight; retry after %ds",
+					s.flight.Inflight(), s.retryAfterSeconds())}}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(r))
-	defer cancel()
 	body, err := task.WaitContext(ctx)
+	if err != nil {
+		return nil, false, s.waitError(err, d)
+	}
+	return body, false, nil
+}
+
+// waitError maps a failed flight wait onto the typed envelope.
+func (s *Server) waitError(err error, d time.Duration) *apiError {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		s.writeError(w, apiError{status: http.StatusGatewayTimeout, Code: codeTimeout,
-			Message: fmt.Sprintf("deadline of %s exceeded; the simulation continues and will be cached", s.timeout(r))})
+		return &apiError{status: http.StatusGatewayTimeout,
+			Error: api.Error{Code: api.CodeTimeout,
+				Message: fmt.Sprintf("deadline of %s exceeded; the simulation continues and will be cached", d)}}
 	case errors.Is(err, context.Canceled):
 		// Client went away; nothing useful to write.
-		s.count(http.StatusGatewayTimeout)
-	case err != nil:
-		s.writeError(w, apiError{status: http.StatusInternalServerError, Code: codeSimFailed,
-			Message: firstLine(err.Error()), Diagnostic: report.Diagnose("vltd", err)})
+		return &apiError{status: statusClientGone,
+			Error: api.Error{Code: api.CodeTimeout, Message: "client disconnected"}}
 	default:
-		s.writeBody(w, body, false)
+		return &apiError{status: http.StatusInternalServerError,
+			Error: api.Error{Code: api.CodeSimFailed,
+				Message: firstLine(err.Error()), Diagnostic: report.Diagnose("vltd", err)}}
+	}
+}
+
+// serveKeyed wraps computeKeyed with HTTP response writing for the
+// single-response endpoints (/v1/run, /v1/experiment).
+func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key string,
+	precheck func() *apiError, render func() ([]byte, error)) {
+	d := s.timeout(r)
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	body, cached, aerr := s.computeKeyed(ctx, key, d, precheck, render)
+	switch {
+	case aerr == nil:
+		s.writeBody(w, body, cached)
+	case aerr.status == statusClientGone:
+		s.count(http.StatusGatewayTimeout)
+	default:
+		s.writeError(w, *aerr)
 	}
 }
 
@@ -256,47 +325,23 @@ func (s *Server) timeout(r *http.Request) time.Duration {
 	return d
 }
 
-// RunRequest is one /v1/run request: a single workload x machine cell.
-// GET encodes it as query parameters, POST as this JSON object.
-type RunRequest struct {
-	Workload   string `json:"workload"`
-	Machine    string `json:"machine"`
-	Scale      int    `json:"scale,omitempty"`
-	Lanes      int    `json:"lanes,omitempty"`
-	Threads    int    `json:"threads,omitempty"`
-	SkipVerify bool   `json:"skip_verify,omitempty"`
-}
-
-// UtilizationPct mirrors vlt.Utilization with JSON tags.
-type UtilizationPct struct {
-	BusyPct     float64 `json:"busy_pct"`
-	PartIdlePct float64 `json:"part_idle_pct"`
-	StalledPct  float64 `json:"stalled_pct"`
-	AllIdlePct  float64 `json:"all_idle_pct"`
-}
-
-// RunResponse is one /v1/run result: the headline timing plus the full
-// metric registry snapshot of the simulated machine.
-type RunResponse struct {
-	Workload   string         `json:"workload"`
-	Machine    string         `json:"machine"`
-	Threads    int            `json:"threads"`
-	Cycles     uint64         `json:"cycles"`
-	Retired    uint64         `json:"retired"`
-	VecIssued  uint64         `json:"vec_issued"`
-	VecElemOps uint64         `json:"vec_elem_ops"`
-	IPC        float64        `json:"ipc"`
-	Util       UtilizationPct `json:"util"`
-	Verified   bool           `json:"verified"`
-	Metrics    vlt.Metrics    `json:"metrics"`
-}
+// The request/response wire types live in internal/api, shared verbatim
+// with the vltclient decoder; the aliases keep this package's names.
+type (
+	// RunRequest is one /v1/run request: a single workload x machine cell.
+	RunRequest = api.RunRequest
+	// RunResponse is one /v1/run result.
+	RunResponse = api.RunResponse
+	// UtilizationPct mirrors vlt.Utilization with JSON tags.
+	UtilizationPct = api.UtilizationPct
+)
 
 func (s *Server) parseRunRequest(r *http.Request) (RunRequest, *apiError) {
 	var req RunRequest
 	if r.Method == http.MethodPost {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return req, &apiError{status: http.StatusBadRequest, Code: codeBadRequest,
-				Message: "bad JSON body: " + err.Error()}
+			return req, &apiError{status: http.StatusBadRequest,
+				Error: api.Error{Code: api.CodeBadRequest, Message: "bad JSON body: " + err.Error()}}
 		}
 	} else {
 		q := r.URL.Query()
@@ -312,16 +357,18 @@ func (s *Server) parseRunRequest(r *http.Request) (RunRequest, *apiError) {
 			}
 			n, err := strconv.Atoi(v)
 			if err != nil || n < 0 {
-				return req, &apiError{status: http.StatusBadRequest, Code: codeBadRequest,
-					Message: fmt.Sprintf("bad %s %q: want a non-negative integer", f.name, v)}
+				return req, &apiError{status: http.StatusBadRequest,
+					Error: api.Error{Code: api.CodeBadRequest,
+						Message: fmt.Sprintf("bad %s %q: want a non-negative integer", f.name, v)}}
 			}
 			*f.dst = n
 		}
 		req.SkipVerify = q.Get("skip_verify") == "true" || q.Get("skip_verify") == "1"
 	}
 	if req.Workload == "" {
-		return req, &apiError{status: http.StatusBadRequest, Code: codeBadRequest,
-			Message: "missing workload (try /v1/workloads for the list)"}
+		return req, &apiError{status: http.StatusBadRequest,
+			Error: api.Error{Code: api.CodeBadRequest,
+				Message: "missing workload (try /v1/workloads for the list)"}}
 	}
 	if req.Machine == "" {
 		req.Machine = string(vlt.MachineBase)
@@ -329,10 +376,35 @@ func (s *Server) parseRunRequest(r *http.Request) (RunRequest, *apiError) {
 	return req, nil
 }
 
-func (req RunRequest) options() vlt.Options {
-	return vlt.Options{
-		Scale: req.Scale, Lanes: req.Lanes, Threads: req.Threads,
-		SkipVerify: req.SkipVerify,
+// renderCell simulates one cell locally and renders its canonical body
+// through the shared api constructor — the single render path for
+// /v1/run, sweep cells, and the fleet coordinator's degraded-mode
+// fallback, which is what keeps bodies byte-identical across nodes.
+func (s *Server) renderCell(req RunRequest) ([]byte, error) {
+	res, err := s.runCell(req.Workload, vlt.Machine(req.Machine), req.Options())
+	if err != nil {
+		return nil, err
+	}
+	return api.Marshal(api.RunResponseFrom(res))
+}
+
+// vetPrecheck builds the miss-path admission check for one cell: the
+// static verifier runs before the cell may occupy a flight slot. A
+// cache hit skips it — a cached response's cell already passed both the
+// verifier and (unless skipped) the functional check.
+func (s *Server) vetPrecheck(req RunRequest) func() *apiError {
+	return func() *apiError {
+		if err := s.vetCell(req.Workload, vlt.Machine(req.Machine), req.Options()); err != nil {
+			var ve *vet.Error
+			if errors.As(err, &ve) {
+				return &apiError{status: http.StatusUnprocessableEntity,
+					Error: api.Error{Code: api.CodeVetFailed,
+						Message: firstLine(err.Error()), Diagnostic: report.Diagnose("vltd", err)}}
+			}
+			return &apiError{status: http.StatusBadRequest,
+				Error: api.Error{Code: api.CodeBadRequest, Message: err.Error()}}
+		}
+		return nil
 	}
 }
 
@@ -342,51 +414,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, *aerr)
 		return
 	}
-	m, opt := vlt.Machine(req.Machine), req.options()
-	key, err := vlt.CellKey(req.Workload, m, opt)
+	key, err := vlt.CellKey(req.Workload, vlt.Machine(req.Machine), req.Options())
 	if err != nil {
-		s.writeError(w, apiError{status: http.StatusBadRequest, Code: codeBadRequest,
-			Message: err.Error()})
+		s.writeError(w, apiError{status: http.StatusBadRequest,
+			Error: api.Error{Code: api.CodeBadRequest, Message: err.Error()}})
 		return
 	}
-	// A cache hit replays a response whose cell already passed both the
-	// static verifier and (unless skipped) the functional check, so the
-	// vet runs only on the miss path.
-	vetCheck := func() *apiError {
-		if err := s.vetCell(req.Workload, m, opt); err != nil {
-			var ve *vet.Error
-			if errors.As(err, &ve) {
-				return &apiError{status: http.StatusUnprocessableEntity, Code: codeVetFailed,
-					Message: firstLine(err.Error()), Diagnostic: report.Diagnose("vltd", err)}
-			}
-			return &apiError{status: http.StatusBadRequest, Code: codeBadRequest,
-				Message: err.Error()}
-		}
-		return nil
-	}
-	s.serveKeyed(w, r, key, vetCheck, func() ([]byte, error) {
-		res, err := s.runCell(req.Workload, m, opt)
-		if err != nil {
-			return nil, err
-		}
-		return marshalBody(RunResponse{
-			Workload:   res.Workload,
-			Machine:    string(res.Machine),
-			Threads:    res.Threads,
-			Cycles:     res.Cycles,
-			Retired:    res.Retired,
-			VecIssued:  res.VecIssued,
-			VecElemOps: res.VecElemOps,
-			IPC:        res.IPC(),
-			Util: UtilizationPct{
-				BusyPct:     res.Util.BusyPct,
-				PartIdlePct: res.Util.PartIdlePct,
-				StalledPct:  res.Util.StalledPct,
-				AllIdlePct:  res.Util.AllIdlePct,
-			},
-			Verified: res.Verified,
-			Metrics:  res.Metrics,
-		})
+	s.serveKeyed(w, r, key, s.vetPrecheck(req), func() ([]byte, error) {
+		return s.renderCell(req)
 	})
 }
 
@@ -460,21 +495,23 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	name := q.Get("name")
 	driver, ok := experiments[name]
 	if !ok {
-		status, code := http.StatusNotFound, codeNotFound
+		status, code := http.StatusNotFound, api.CodeNotFound
 		if name == "" {
-			status, code = http.StatusBadRequest, codeBadRequest
+			status, code = http.StatusBadRequest, api.CodeBadRequest
 		}
-		s.writeError(w, apiError{status: status, Code: code,
-			Message: fmt.Sprintf("unknown experiment %q; have %s",
-				name, strings.Join(experimentNames(), ", "))})
+		s.writeError(w, apiError{status: status,
+			Error: api.Error{Code: code,
+				Message: fmt.Sprintf("unknown experiment %q; have %s",
+					name, strings.Join(experimentNames(), ", "))}})
 		return
 	}
 	scale := 1
 	if v := q.Get("scale"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			s.writeError(w, apiError{status: http.StatusBadRequest, Code: codeBadRequest,
-				Message: fmt.Sprintf("bad scale %q: want a positive integer", v)})
+			s.writeError(w, apiError{status: http.StatusBadRequest,
+				Error: api.Error{Code: api.CodeBadRequest,
+					Message: fmt.Sprintf("bad scale %q: want a positive integer", v)}})
 			return
 		}
 		scale = n
@@ -485,7 +522,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return marshalBody(ExperimentResponse{Name: name, Scale: scale, Data: data, Text: text})
+		return api.Marshal(ExperimentResponse{Name: name, Scale: scale, Data: data, Text: text})
 	})
 }
 
@@ -520,28 +557,40 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 	}{names})
 }
 
+// handleHealthz serves both health forms. The bare endpoint is
+// liveness: it answers "ok" whenever the process can serve HTTP at all.
+// With ?ready=1 it is readiness: 503 while the server is still warming
+// up (SetReady(false)) or draining (BeginDrain), so fleet
+// health-checkers and smoke gates stop racing startup and stop routing
+// work to a node on its way out.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, struct {
-		Status        string  `json:"status"`
-		UptimeSeconds float64 `json:"uptime_seconds"`
-		Inflight      int     `json:"inflight"`
-	}{"ok", time.Since(s.start).Seconds(), s.flight.Inflight()})
+	resp := api.HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Inflight:      s.flight.Inflight(),
+	}
+	if v := r.URL.Query().Get("ready"); v == "1" || v == "true" {
+		switch {
+		case s.draining.Load():
+			resp.Status = "draining"
+		case !s.ready.Load():
+			resp.Status = "starting"
+		default:
+			resp.Status = "ready"
+		}
+		if resp.Status != "ready" {
+			s.writeError(w, apiError{status: http.StatusServiceUnavailable,
+				Error: api.Error{Code: api.CodeNotReady, Message: "vltd is " + resp.Status}})
+			return
+		}
+	}
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.reg.Snapshot().String())
 	s.count(http.StatusOK)
-}
-
-// marshalBody renders a response body once; the same bytes are cached
-// and served, keeping hot and cold responses byte-identical.
-func marshalBody(v any) ([]byte, error) {
-	body, err := json.Marshal(v)
-	if err != nil {
-		return nil, err
-	}
-	return append(body, '\n'), nil
 }
 
 func firstLine(s string) string {

@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"vlt"
+	"vlt/internal/api"
+	"vlt/internal/runner"
+)
+
+// maxSweepCells bounds one sweep's grid. The full paper grid (9
+// workloads x 10 machines x a handful of scales) is a few hundred
+// cells; the bound only exists to stop a hostile request from queueing
+// unbounded work behind one POST.
+const maxSweepCells = 4096
+
+// sweepFuture carries one grid cell from the submitting pass to the
+// writing pass: either an already-resolved outcome (cache hit, vet
+// rejection, admission timeout) or the cell's in-flight task.
+type sweepFuture struct {
+	req  RunRequest
+	body []byte
+	aerr *apiError
+	task *runner.Task[[]byte]
+	d    time.Duration
+}
+
+// handleSweep serves POST /v1/sweep: it expands the requested grid in
+// deterministic row-major order, fans the cells out (across the local
+// flight group, and — when a fleet coordinator is installed — across
+// the peers owning each cell key), and streams one NDJSON line per cell
+// as results land, in grid order. A failing cell contributes an error
+// envelope on its line and the stream continues: one bad cell never
+// kills a sweep. The final line is a trailer; a client that does not
+// see it knows the stream was truncated rather than finished.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, apiError{status: http.StatusMethodNotAllowed,
+			Error: api.Error{Code: api.CodeBadRequest, Message: "POST a sweep grid (JSON body) to this endpoint"}})
+		return
+	}
+	var req api.SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, apiError{status: http.StatusBadRequest,
+			Error: api.Error{Code: api.CodeBadRequest, Message: "bad JSON body: " + err.Error()}})
+		return
+	}
+	if len(req.Workloads) == 0 || len(req.Machines) == 0 {
+		s.writeError(w, apiError{status: http.StatusBadRequest,
+			Error: api.Error{Code: api.CodeBadRequest,
+				Message: "empty grid: need at least one workload and one machine"}})
+		return
+	}
+	for _, sc := range req.Scales {
+		if sc < 1 {
+			s.writeError(w, apiError{status: http.StatusBadRequest,
+				Error: api.Error{Code: api.CodeBadRequest,
+					Message: fmt.Sprintf("bad scale %d: want a positive integer", sc)}})
+			return
+		}
+	}
+	cells := req.Cells()
+	if len(cells) > maxSweepCells {
+		s.writeError(w, apiError{status: http.StatusBadRequest,
+			Error: api.Error{Code: api.CodeBadRequest,
+				Message: fmt.Sprintf("grid of %d cells exceeds the %d-cell bound", len(cells), maxSweepCells)}})
+		return
+	}
+	// Resolve every cell key up front: a malformed grid (unknown
+	// workload or machine) is a 400 before the stream commits to 200,
+	// not a stream full of per-cell errors.
+	keys := make([]string, len(cells))
+	for i, c := range cells {
+		key, err := vlt.CellKey(c.Workload, vlt.Machine(c.Machine), c.Options())
+		if err != nil {
+			s.writeError(w, apiError{status: http.StatusBadRequest,
+				Error: api.Error{Code: api.CodeBadRequest, Message: err.Error(), Cell: c.Cell()}})
+			return
+		}
+		keys[i] = key
+	}
+
+	d := s.timeout(r)
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	// Submitter and writer run as a two-stage pipe: the submitter walks
+	// the grid admitting cells into the flight group (blocking at the
+	// pending bound, where finishing cells free slots), while the writer
+	// drains outcomes in grid order and streams lines. The buffered
+	// channel lets the submitter run the full grid ahead of the writer,
+	// so fan-out width is set by the flight group, not by stream order.
+	futures := make(chan sweepFuture, len(cells))
+	errCells, aborted := 0, false
+	runner.Parallel(
+		func() error {
+			defer close(futures)
+			for i, c := range cells {
+				futures <- s.submitCell(ctx, keys[i], c, d)
+			}
+			return nil
+		},
+		func() error {
+			written := 0
+			for f := range futures {
+				body, aerr := f.body, f.aerr
+				if f.task != nil {
+					b, err := f.task.WaitContext(ctx)
+					if err != nil {
+						aerr = s.waitError(err, f.d)
+					} else {
+						body = b
+					}
+				}
+				if aerr != nil && aerr.status == statusClientGone {
+					// Nobody is reading; stop streaming. The missing
+					// trailer is the truncation signal.
+					aborted = true
+					return nil
+				}
+				line := api.SweepCell{
+					Index:    written,
+					Workload: f.req.Workload,
+					Machine:  f.req.Machine,
+					Scale:    f.req.Scale,
+				}
+				if aerr != nil {
+					e := aerr.Error
+					e.Cell = f.req.Cell()
+					line.Error = &e
+					errCells++
+				} else {
+					line.Result = json.RawMessage(bytes.TrimRight(body, "\n"))
+				}
+				enc, err := json.Marshal(line)
+				if err != nil {
+					return err
+				}
+				if _, err := w.Write(append(enc, '\n')); err != nil {
+					aborted = true
+					return nil
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				written++
+			}
+			trailer, err := json.Marshal(api.SweepTrailer{Done: true, Cells: written, Errors: errCells})
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(append(trailer, '\n')); err != nil {
+				aborted = true
+				return nil
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		},
+	)
+	if aborted {
+		s.count(http.StatusGatewayTimeout)
+		return
+	}
+	s.count(http.StatusOK)
+}
+
+// submitCell starts one sweep cell through the shared admission path:
+// cache hits, vet rejections and admission timeouts resolve
+// immediately; otherwise the cell's flight task rides back for the
+// writer to await. When a fleet coordinator is installed the cell's
+// renderer routes through it — still under this node's flight group and
+// response cache, so concurrent sweeps coalesce on remote cells exactly
+// as on local ones, and a remote body lands in the local cache.
+func (s *Server) submitCell(ctx context.Context, key string, c RunRequest, d time.Duration) sweepFuture {
+	f := sweepFuture{req: c, d: d}
+	render := func() ([]byte, error) { return s.renderCell(c) }
+	if fl := s.fleet; fl != nil {
+		local := render
+		render = func() ([]byte, error) { return fl.Compute(ctx, key, c, local) }
+	}
+	if body, ok := s.cache.Get(key); ok {
+		f.body = body
+		return f
+	}
+	if e := s.vetPrecheck(c)(); e != nil {
+		f.aerr = e
+		return f
+	}
+	job := func() ([]byte, error) {
+		body, err := render()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, body)
+		return body, nil
+	}
+	task, _, admitted := s.flight.TrySubmit(key, job)
+	for !admitted {
+		select {
+		case <-ctx.Done():
+			f.aerr = s.waitError(ctx.Err(), d)
+			return f
+		case <-time.After(2 * time.Millisecond):
+		}
+		// A coalescing partner may have finished the cell while this
+		// sweep was parked at the admission bound.
+		if body, ok := s.cache.Get(key); ok {
+			f.body = body
+			return f
+		}
+		task, _, admitted = s.flight.TrySubmit(key, job)
+	}
+	f.task = task
+	return f
+}

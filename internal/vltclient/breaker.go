@@ -1,0 +1,108 @@
+package vltclient
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The zero value is closed.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is a per-peer circuit breaker. Closed passes every call and
+// counts consecutive failures; at the threshold it opens. Open fails
+// every call fast until the cooldown elapses, then admits exactly one
+// half-open probe; the probe's outcome closes the breaker again or
+// re-opens it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	trips, rejects uint64 // metrics: opens, fast-failed calls
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a call may proceed. In the open state it flips
+// to half-open once the cooldown has elapsed and admits a single probe;
+// concurrent callers keep failing fast until the probe reports.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.rejects++
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			b.rejects++
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success reports a completed call: any state collapses to closed.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure reports a failed call (after the call's own retries): a
+// half-open probe re-opens immediately, a closed breaker opens at the
+// consecutive-failure threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case stateHalfOpen:
+		b.trip()
+	case stateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip opens the breaker (callers hold the lock).
+func (b *breaker) trip() {
+	b.state = stateOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.trips++
+}
+
+// snapshot returns (state, trips, rejects) for metrics registration.
+func (b *breaker) snapshot() (int, uint64, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips, b.rejects
+}

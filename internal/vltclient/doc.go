@@ -1,0 +1,21 @@
+// Package vltclient is the typed HTTP client for a vltd peer: one code
+// path shared by end users (cmd/vltsweep), tests, and the fleet
+// coordinator (internal/fleet), so every caller gets the same failure
+// handling. A Client wraps the wire schema of internal/api with three
+// robustness layers:
+//
+//   - deadline propagation: the remaining context deadline rides to the
+//     server as timeout_ms, so the server abandons waits the client has
+//     already given up on;
+//   - bounded retries: transient failures (network errors, 5xx, 429)
+//     retry with capped exponential backoff plus seeded jitter, honoring
+//     Retry-After on 429/503; typed 4xx envelopes never retry;
+//   - a per-peer circuit breaker (closed / open / half-open): after a run
+//     of consecutive failures the breaker opens and calls fail fast with
+//     ErrCircuitOpen instead of eating the retry budget on a dead peer; a
+//     cooldown later, one half-open probe decides whether to close it.
+//
+// All breaker state and traffic counters register in a stats.Registry
+// scope, so a fleet's retries, trips and fast-fails are visible in the
+// coordinator node's /metricsz.
+package vltclient

@@ -147,6 +147,7 @@ if [ -z "$vltd_url" ]; then
     exit 1
 fi
 curl -fsS "$vltd_url/healthz" | grep -q '"status":"ok"'
+curl -fsS "$vltd_url/healthz?ready=1" | grep -q '"status":"ready"'
 curl -fsS "$vltd_url/v1/run?workload=mxm&machine=base" | grep -q '"cycles"'
 kill -TERM "$vltd_pid"
 if ! wait "$vltd_pid"; then
@@ -155,6 +156,68 @@ if ! wait "$vltd_pid"; then
     exit 1
 fi
 grep -q "shutdown complete" /tmp/vltd.check.out
-rm -f /tmp/vltd.check /tmp/vltd.check.out
+rm -f /tmp/vltd.check.out
+
+echo "== chaos smoke (two vltd nodes, netfault proxy at ~20% faults, sweep loses no cells)"
+go build -o /tmp/vltfault.check ./cmd/vltfault
+go build -o /tmp/vltsweep.check ./cmd/vltsweep
+chaos_pids=()
+chaos_cleanup() {
+    for p in "${chaos_pids[@]}"; do kill "$p" 2>/dev/null || true; done
+}
+trap chaos_cleanup EXIT
+
+# scrape_line FILE SED-EXPR: poll FILE until SED-EXPR yields a match.
+scrape_line() {
+    local out=""
+    for _ in $(seq 1 100); do
+        out=$(sed -n "$2" "$1")
+        [ -n "$out" ] && break
+        sleep 0.05
+    done
+    if [ -z "$out" ]; then
+        echo "chaos smoke: never found $2 in $1" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    printf '%s' "$out"
+}
+
+/tmp/vltd.check -addr 127.0.0.1:0 >/tmp/vltd.peer.out 2>&1 &
+chaos_pids+=($!)
+peer_url=$(scrape_line /tmp/vltd.peer.out 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p')
+
+/tmp/vltfault.check -target "${peer_url#http://}" -drop 0.1 -inject 0.1 \
+    >/tmp/vltfault.check.out 2>&1 &
+chaos_pids+=($!)
+proxy_addr=$(scrape_line /tmp/vltfault.check.out 's/.*proxying \([^ ]*\) ->.*/\1/p')
+
+/tmp/vltd.check -addr 127.0.0.1:0 -peers "http://$proxy_addr" >/tmp/vltd.coord.out 2>&1 &
+chaos_pids+=($!)
+coord_url=$(scrape_line /tmp/vltd.coord.out 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p')
+grep -q "fleet of 1 peers" /tmp/vltd.coord.out
+
+# Every cell must land despite the faulted peer: retries, breaker and
+# local fallback absorb the chaos, the trailer proves nothing was lost.
+sweep_out=$(/tmp/vltsweep.check -server "$coord_url" \
+    -workloads mxm,sage -machines base,V2-CMP -retries 4)
+printf '%s\n' "$sweep_out"
+printf '%s\n' "$sweep_out" | grep -q "4 cells, 0 errors"
+
+for p in "${chaos_pids[@]}"; do kill -TERM "$p"; done
+for p in "${chaos_pids[@]}"; do
+    if ! wait "$p"; then
+        echo "chaos smoke: pid $p did not exit cleanly on SIGTERM" >&2
+        tail -5 /tmp/vltd.peer.out /tmp/vltfault.check.out /tmp/vltd.coord.out >&2
+        exit 1
+    fi
+done
+chaos_pids=()
+trap - EXIT
+for f in /tmp/vltd.peer.out /tmp/vltfault.check.out /tmp/vltd.coord.out; do
+    grep -q "shutdown complete" "$f"
+done
+rm -f /tmp/vltd.check /tmp/vltfault.check /tmp/vltsweep.check \
+    /tmp/vltd.peer.out /tmp/vltfault.check.out /tmp/vltd.coord.out
 
 echo "check.sh: all gates passed"
