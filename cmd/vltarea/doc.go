@@ -1,0 +1,4 @@
+// Command vltarea prints the paper's area model: the component breakdown
+// (Table 1) and the area overhead of every VLT configuration over the
+// base vector processor (Table 2).
+package main

@@ -1,0 +1,9 @@
+// Command vltasm assembles a textual program into a binary program image
+// that cmd/vltrun executes and cmd/vltdis disassembles. Every program is
+// statically verified (internal/vet) after assembly; findings fail the
+// build unless -no-vet is given.
+//
+// Usage:
+//
+//	vltasm [-o prog.vltp] [-no-vet] prog.vasm
+package main

@@ -1,0 +1,7 @@
+// Command vltdis disassembles a binary program image (produced by
+// cmd/vltasm) back into assembly text that cmd/vltasm accepts.
+//
+// Usage:
+//
+//	vltdis prog.vltp
+package main

@@ -1,13 +1,3 @@
-// Command vltexp regenerates the tables and figures of "Vector Lane
-// Threading" (ICPP 2006) on this repository's simulator.
-//
-// Usage:
-//
-//	vltexp [-scale N] [-jobs N] [-progress] [-fig 1|3|4|5|6] [-tab 1|2|3|4] [-all]
-//
-// Without flags it prints everything (equivalent to -all). Simulations
-// fan out over the parallel experiment engine; -jobs 1 forces the legacy
-// serial path and -progress reports completed/total cells on stderr.
 package main
 
 import (

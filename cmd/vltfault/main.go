@@ -1,19 +1,3 @@
-// Command vltfault runs the internal/netfault chaos proxy standalone: a
-// TCP forwarder that injects faults (dropped connections, delays,
-// canned 503s, mid-body resets and truncations) between a client and a
-// vltd daemon with per-rule probabilities from a seeded source. It is
-// the manual counterpart of the chaos harness the e2e tests use: point
-// a vltd coordinator's -peers at a vltfault in front of a real peer and
-// watch the fleet's retries, breaker trips and local fallbacks on
-// /metricsz.
-//
-// Usage:
-//
-//	vltfault -target 127.0.0.1:8317 [-listen 127.0.0.1:0] [-seed N]
-//	         [-drop P] [-delay P] [-inject P] [-reset P] [-truncate P]
-//
-// On SIGINT/SIGTERM the proxy severs every live connection and prints
-// its fault tally.
 package main
 
 import (

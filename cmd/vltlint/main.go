@@ -1,19 +1,7 @@
-// Command vltlint enforces the simulator's determinism contract
-// (internal/lint) on the repository's own Go source. It exits 1 when
-// any finding is reported and is wired into scripts/check.sh as a
-// tier-1 gate.
-//
-// Usage:
-//
-//	vltlint [-root dir] [-docs] [patterns...]
-//
-// Patterns are package directories relative to the module root or the
-// recursive form "./..." (the default). With -docs it additionally
-// enforces the documentation contract: every internal/* package must
-// carry a doc.go with a package doc comment (rule "pkg-doc").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +15,15 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// lintReport is the JSON shape of one vltlint run. Counts uses the
+// internal/stats naming scheme ("lint.findings.<rule>"), mirroring
+// vltvet's report.
+type lintReport struct {
+	Root     string             `json:"root"`
+	Findings []lint.Finding     `json:"findings"`
+	Counts   map[string]float64 `json:"counts"`
 }
 
 // run is the testable entry point: it parses args, lints, writes to
@@ -43,9 +40,10 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("vltlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	root := fs.String("root", "", "module root (default: nearest go.mod above the working directory)")
-	docs := fs.Bool("docs", false, "also enforce the documentation contract (doc.go per internal package)")
+	docs := fs.Bool("docs", false, "also enforce the documentation contract (doc.go per internal and cmd package)")
+	jsonOut := fs.Bool("json", false, "emit findings and per-rule counts as JSON")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: vltlint [-root dir] [-docs] [patterns...]")
+		fmt.Fprintln(stderr, "usage: vltlint [-root dir] [-docs] [-json] [patterns...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -79,8 +77,26 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		findings = append(findings, docFindings...)
 	}
-	for _, f := range findings {
-		fmt.Fprintln(stdout, f)
+
+	if *jsonOut {
+		counts := map[string]float64{}
+		for _, f := range findings {
+			counts["lint.findings."+f.Rule]++
+		}
+		r := lintReport{Root: dir, Findings: findings, Counts: counts}
+		if r.Findings == nil {
+			r.Findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(stderr, "vltlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "vltlint: %d finding(s)\n", len(findings))

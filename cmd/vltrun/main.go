@@ -1,25 +1,3 @@
-// Command vltrun assembles a textual program (the syntax of
-// internal/asm.ParseText) and runs it on a simulated machine, printing
-// cycle counts and, on request, register/memory state, a retirement
-// trace, the full metric registry, or a cycle-interval time series.
-//
-// Usage:
-//
-//	vltrun [-machine base] [-threads N] [-trace] [-stats] [-json]
-//	       [-sample N] [-dump sym,sym] prog.vasm
-//
-// Example program:
-//
-//	.data tbl 1 2 3 4 5 6 7 8
-//	.alloc out 1
-//	    movi r1, 8
-//	    setvl r2, r1
-//	    movi r3, &tbl
-//	    vld v1, (r3)
-//	    vredsum r4, v1
-//	    movi r5, &out
-//	    st r4, 0(r5)
-//	    halt
 package main
 
 import (

@@ -1,0 +1,16 @@
+// Command vltsearch explores the lane-repartition design space of one
+// workload on one machine by speculative simulation: every VLTCFG the
+// program issues becomes a decision point where the search forks the
+// mid-run machine and tries alternative partition counts, without
+// replaying the prefix. The best plan found is replayed from scratch
+// and functionally verified before it is reported.
+//
+// Usage:
+//
+//	vltsearch -workload mpenc -machine V4-CMT [flags]
+//
+// The default exhaustive policy tries every alternative at the first
+// -depth decisions, bounded by -budget total simulated runs; -policy
+// beam and -policy sample (with -width and -seed) scale to deeper
+// decision trees. The search is deterministic for fixed flags.
+package main

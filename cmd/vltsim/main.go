@@ -1,9 +1,3 @@
-// Command vltsim runs one workload on one machine configuration and
-// prints timing, utilization and characterization statistics.
-//
-// Usage:
-//
-//	vltsim -workload mpenc -machine V2-CMP [-scale N] [-lanes N] [-threads N]
 package main
 
 import (

@@ -1,18 +1,3 @@
-// Command vltsweep runs a workload x machine x scale grid against a
-// vltd daemon (or a fleet coordinator node) over POST /v1/sweep and
-// renders the NDJSON stream as it arrives: one line per cell, then a
-// summary from the stream's trailer. The underlying client retries
-// transient failures with backoff, honors Retry-After, and detects a
-// truncated stream by the missing trailer — a partial sweep exits
-// nonzero instead of passing silently.
-//
-// Usage:
-//
-//	vltsweep -workloads mxm,fir8 -machines base,vlt8 [flags]
-//
-// Cells that fail simulation occupy their line with the server's typed
-// error and do not stop the sweep; vltsweep exits 1 if any cell erred
-// (or 2 on usage/transport failures).
 package main
 
 import (

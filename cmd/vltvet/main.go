@@ -1,17 +1,3 @@
-// Command vltvet statically verifies assembled VLT programs with the
-// internal/vet pipeline: CFG structure, use-before-def, dead writes,
-// the 1 <= VL <= 64 proof, and static memory bounds. It exits 1 when
-// any program has findings.
-//
-// Usage:
-//
-//	vltvet [flags] [prog.vasm | prog.vltp ...]
-//	vltvet -workloads all
-//
-// Positional arguments are assembly text files or binary images
-// (vltasm output). -workloads vets the built-in workload kernels
-// instead: "all" or a comma-separated list of names, built with
-// -threads software threads.
 package main
 
 import (

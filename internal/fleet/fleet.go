@@ -76,13 +76,21 @@ func New(cfg Config) *Coordinator {
 		c.peers = append(c.peers, &peer{client: vltclient.New(pc)})
 	}
 	if cfg.Registry != nil {
-		cfg.Registry.CounterFn("local", func() uint64 { return atomic.LoadUint64(&c.local) })
-		cfg.Registry.CounterFn("remote", func() uint64 { return atomic.LoadUint64(&c.remote) })
-		cfg.Registry.CounterFn("fallback", func() uint64 { return atomic.LoadUint64(&c.fallback) })
-		cfg.Registry.CounterFn("probes", func() uint64 { return atomic.LoadUint64(&c.probes) })
-		cfg.Registry.Gauge("peers", func() float64 { return float64(len(c.peers)) })
+		c.registerMetrics(cfg.Registry)
 	}
 	return c
+}
+
+// registerMetrics exposes the routing counters. Every uint64 counter
+// field on Coordinator must appear here — the metrics-registered lint
+// pass cross-checks it. The counters are atomics, so the closures read
+// without locks.
+func (c *Coordinator) registerMetrics(r *stats.Registry) {
+	r.CounterFn("local", func() uint64 { return atomic.LoadUint64(&c.local) })
+	r.CounterFn("remote", func() uint64 { return atomic.LoadUint64(&c.remote) })
+	r.CounterFn("fallback", func() uint64 { return atomic.LoadUint64(&c.fallback) })
+	r.CounterFn("probes", func() uint64 { return atomic.LoadUint64(&c.probes) })
+	r.Gauge("peers", func() float64 { return float64(len(c.peers)) })
 }
 
 // Peers reports the number of configured remote members.
@@ -153,6 +161,7 @@ func (c *Coordinator) healthy(ctx context.Context, p *peer) bool {
 	}
 	atomic.AddUint64(&c.probes, 1)
 	pctx, cancel := context.WithTimeout(ctx, c.healthTimeout)
+	//vltlint:ignore lock-blocking probeMu exists to serialize this probe: one Healthz per TTL window, waiters reuse the verdict, and pctx bounds the stall
 	err := p.client.Healthz(pctx, true)
 	cancel()
 	p.mu.Lock()

@@ -1,30 +1,58 @@
-// Package lint enforces the simulator's determinism contract on its own
-// Go source, using only the standard library (go/ast, go/parser,
-// go/types). The north-star result of this repository — byte-stable
-// simulation output under heavy parallel traffic — holds only if the
-// sim core never consults a nondeterministic source. The contract:
+// Package lint is a multi-pass static-analysis suite over the
+// repository's own Go source, built only on the standard library
+// (go/ast, go/parser, go/types, with a lenient module-local importer
+// that resolves vlt/... packages from source and stubs the standard
+// library).
 //
-//   - no wall-clock reads (time.Now and friends) inside the simulation
-//     core packages;
-//   - no math/rand (seeded or not) inside the core: all pseudo-random
-//     data generation lives in workloads with fixed seeds. The one
-//     exception is internal/search, whose Sample policy may build
-//     explicitly seeded sources — there the rand-global rule bans every
-//     draw from the process-global source (rand.Intn, rand.Perm, ...),
-//     permitting only rand.New and rand.NewSource;
-//   - no range over a map inside the core: map iteration order is
-//     randomized by the runtime, so every iteration must go through
-//     sorted keys (the one sanctioned helper carries an ignore
-//     directive);
-//   - no goroutine spawns anywhere outside internal/runner: all
-//     concurrency is confined to one audited worker pool.
+// Determinism passes (the original contract — the north-star result,
+// byte-stable simulation output under heavy parallel traffic, holds
+// only if the sim core never consults a nondeterministic source):
 //
-// A finding can be suppressed with a trailing or preceding comment of
-// the form "//vltlint:ignore <rule>"; the directive is part of the
-// contract's audit trail, not an escape hatch.
+//   - wall-clock, math-rand, map-range: no time.Now and friends, no
+//     math/rand, no range over a map inside the simulation core
+//     packages (map iteration order is runtime-randomized; sorted-key
+//     helpers are the sanctioned replacement);
+//   - rand-global: inside internal/search, whose Sample policy may
+//     build explicitly seeded sources, every draw from the
+//     process-global source is banned (rand.Intn, rand.Perm, ...) —
+//     only rand.New and rand.NewSource are permitted;
+//   - goroutine: no goroutine spawns outside internal/runner — the
+//     audited worker pool is the sanctioned home for concurrency; a
+//     spawn elsewhere needs an explicit, reasoned ignore directive.
 //
-// Beyond determinism, CheckDocs enforces the documentation contract
-// (rule "pkg-doc"): every internal/* package carries a doc.go with a
-// package doc comment. Key types: Finding (one violation, with file,
-// position, rule and message) and the Rule* name constants.
+// Concurrency-safety passes (the serving layer is supposed to be
+// concurrent, so its contract is discipline rather than abstinence):
+//
+//   - lock-guard, lock-blocking: a flow-sensitive lock-discipline
+//     analysis infers which struct fields are guarded by which
+//     sync.Mutex/RWMutex (majority of accesses hold it, at least one
+//     write) and flags minority accesses, plus any blocking operation
+//     — channel ops, defaultless select, net/http round trips, known
+//     blocking methods — performed while a mutex is held. A method
+//     whose doc comment carries "//vltlint:heldby <mutexField>"
+//     declares the callers-hold-the-lock convention and is analyzed
+//     with that mutex held.
+//   - go-join: every go statement outside internal/runner must be
+//     provably joined in its spawning function (WaitGroup/group Wait,
+//     a done channel, or cancel-on-context evidence) — the goroutine
+//     rule's ignore directive excuses the spawn, never the detachment.
+//   - ctx-background, ctx-propagate: in the serving packages (serve,
+//     fleet, vltclient), context.Background and context.TODO are
+//     banned, and a function that receives a context must thread a
+//     derived context into every blocking call it makes.
+//   - metrics-registered: every plain uint64 counter field of a
+//     struct with a convention-named registrar (register /
+//     registerMetrics / RegisterMetrics taking *stats.Registry) must
+//     be registered, so no counter is invisible in /metricsz.
+//
+// A finding is suppressed with "//vltlint:ignore <rule> [reason]" on
+// its own line or the line above; the directive is scoped to one rule
+// on one line, and a directive that suppresses nothing is itself a
+// finding (unused-ignore), so the audit trail cannot rot silently.
+//
+// Beyond code rules, CheckDocs enforces the documentation contract
+// (pkg-doc): every internal/* and cmd/* package carries a doc.go with
+// a package doc comment. Key types: Finding (one violation, with
+// file, position, rule and message) and the Rule* name constants.
+// DESIGN.md §9 and §14 give the rationale and the known blind spots.
 package lint

@@ -13,39 +13,45 @@ import (
 const RuleDocGo = "pkg-doc"
 
 // CheckDocs enforces the documentation contract: every package under
-// internal/ that contains non-test Go source must carry a doc.go file
-// whose package clause has a doc comment. Keeping the package comment in
-// a dedicated doc.go (rather than on an arbitrary source file) makes it
-// obvious where to read and where to edit, and stops the comment from
-// silently disappearing when its host file is split or deleted.
+// internal/ or cmd/ that contains non-test Go source must carry a
+// doc.go file whose package clause has a doc comment. Keeping the
+// package comment in a dedicated doc.go (rather than on an arbitrary
+// source file) makes it obvious where to read and where to edit, and
+// stops the comment from silently disappearing when its host file is
+// split or deleted.
 //
 // root must be the module root. Findings are sorted by file path.
 func CheckDocs(root string) ([]Finding, error) {
-	internal := filepath.Join(root, "internal")
-	entries, err := os.ReadDir(internal)
-	if err != nil {
-		return nil, err
-	}
 	var findings []Finding
-	for _, e := range entries {
-		if !e.IsDir() {
-			continue
-		}
-		rel := filepath.ToSlash(filepath.Join("internal", e.Name()))
-		dir := filepath.Join(internal, e.Name())
-		ok, err := hasGoFiles(dir)
+	for _, top := range []string{"internal", "cmd"} {
+		topDir := filepath.Join(root, top)
+		entries, err := os.ReadDir(topDir)
 		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
 			return nil, err
 		}
-		if !ok {
-			continue
-		}
-		f, err := checkPackageDoc(rel, dir)
-		if err != nil {
-			return nil, err
-		}
-		if f != nil {
-			findings = append(findings, *f)
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			rel := filepath.ToSlash(filepath.Join(top, e.Name()))
+			dir := filepath.Join(topDir, e.Name())
+			ok, err := hasGoFiles(dir)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			f, err := checkPackageDoc(rel, dir)
+			if err != nil {
+				return nil, err
+			}
+			if f != nil {
+				findings = append(findings, *f)
+			}
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool { return findings[i].File < findings[j].File })

@@ -20,6 +20,21 @@ const (
 	RuleMapRange   = "map-range"
 	RuleGoroutine  = "goroutine"
 	RuleRandGlobal = "rand-global"
+
+	// Concurrency-safety rules (conc.go).
+	RuleLockGuard    = "lock-guard"
+	RuleLockBlocking = "lock-blocking"
+	RuleGoJoin       = "go-join"
+
+	// Deadline-propagation rules (ctx.go).
+	RuleCtxBackground = "ctx-background"
+	RuleCtxPropagate  = "ctx-propagate"
+
+	// Metrics-registration exhaustiveness (metrics.go).
+	RuleMetricsReg = "metrics-registered"
+
+	// A //vltlint:ignore directive that suppressed nothing.
+	RuleUnusedIgnore = "unused-ignore"
 )
 
 // contractPkgs are the simulation-core import paths subject to the
@@ -36,6 +51,20 @@ var contractPkgs = map[string]bool{
 
 // goroutinePkg is the only package allowed to spawn goroutines.
 const goroutinePkg = "vlt/internal/runner"
+
+// ctxPkgs are the serving-layer import paths subject to the
+// deadline-propagation rules: every function on a request path receives
+// a context and must thread it into the blocking calls it makes.
+var ctxPkgs = map[string]bool{
+	"vlt/internal/serve":     true,
+	"vlt/internal/fleet":     true,
+	"vlt/internal/vltclient": true,
+}
+
+// statsPkg is the metrics registry itself, exempt from the
+// metrics-registered rule (its uint64 fields are the implementation,
+// not counters to be exported through it).
+const statsPkg = "vlt/internal/stats"
 
 // seededRandPkgs are the non-workload packages granted math/rand: the
 // design-space search driver (its Sample policy draws from a seeded
@@ -75,11 +104,11 @@ var wallClockFuncs = map[string]bool{
 
 // Finding is one contract violation.
 type Finding struct {
-	File string // path relative to the module root
-	Line int
-	Col  int
-	Rule string
-	Msg  string
+	File string `json:"file"` // path relative to the module root
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
 }
 
 func (f Finding) String() string {
@@ -229,7 +258,11 @@ func (l *linter) importPath(rel string) string {
 	return "vlt/" + filepath.ToSlash(rel)
 }
 
-// lintDir parses, typechecks and checks one package directory.
+// lintDir parses, typechecks and checks one package directory. Per-file
+// rules run first, then the package-wide passes (lock discipline,
+// goroutine ownership, deadline propagation, metrics registration) that
+// need every file's declarations at once, then the unused-ignore sweep
+// over whatever directives no rule consumed.
 func (l *linter) lintDir(rel string) ([]Finding, error) {
 	files, err := l.parseDir(rel)
 	if err != nil {
@@ -251,12 +284,24 @@ func (l *linter) lintDir(rel string) ([]Finding, error) {
 		contract: contractPkgs[path],
 		search:   seededRandPkgs[path],
 		info:     info,
+		files:    files,
+		ignores:  map[string]map[int][]*directive{},
 	}
-	var findings []Finding
 	for _, f := range files {
-		findings = append(findings, c.file(f)...)
+		c.collectIgnores(f)
 	}
-	return findings, nil
+	for _, f := range files {
+		c.checkFile(f)
+	}
+	c.checkConcurrency()
+	if ctxPkgs[path] {
+		c.checkCtx()
+	}
+	if path != statsPkg {
+		c.checkMetrics()
+	}
+	c.checkUnusedIgnores()
+	return c.findings, nil
 }
 
 // parseDir parses the non-test Go files of a package directory.
@@ -283,9 +328,10 @@ func (l *linter) parseDir(rel string) ([]*ast.File, error) {
 // typecheck runs a lenient go/types pass: module-local imports are
 // resolved recursively from source, everything else (stdlib) is stubbed
 // as an empty package, and type errors are ignored. The pass only needs
-// to resolve the types of in-module expressions (is this a map?) and
-// the identity of imported package names (is this ident the "time"
-// package?) — both survive the stubs.
+// to resolve the types of in-module expressions (is this a map? which
+// struct does this selector land on?) and the identity of imported
+// package names (is this ident the "time" package?) — both survive the
+// stubs.
 func (l *linter) typecheck(path string, files []*ast.File, info *types.Info) *types.Package {
 	cfg := types.Config{
 		Importer: (*moduleImporter)(l),
@@ -329,6 +375,18 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 	return m.pkgs[path], nil
 }
 
+// directive is one "//vltlint:ignore <rule>" comment. It suppresses its
+// rule on its own line and the line below, and records whether it ever
+// matched a finding — a directive that suppresses nothing is itself a
+// finding (unused-ignore), so stale suppressions cannot accumulate.
+type directive struct {
+	rule string
+	file string // relative path, as findings report it
+	line int
+	col  int
+	used bool
+}
+
 // checker applies the rules to one package's files.
 type checker struct {
 	*linter
@@ -336,128 +394,25 @@ type checker struct {
 	contract bool
 	search   bool // seededRandPkgs: math/rand allowed, global source banned
 	info     *types.Info
+	files    []*ast.File
 
-	ignores map[int][]string // line -> rules suppressed on that line
+	ignores  map[string]map[int][]*directive // relative file -> line -> directives
+	findings []Finding
 }
 
-func (c *checker) file(f *ast.File) []Finding {
-	var findings []Finding
-	c.ignores = ignoreDirectives(c.fset, f)
-	emit := func(pos token.Pos, rule, format string, args ...any) {
-		p := c.fset.Position(pos)
-		if c.suppressed(p.Line, rule) {
-			return
-		}
-		file := p.Filename
-		if rel, err := filepath.Rel(c.root, file); err == nil {
-			file = filepath.ToSlash(rel)
-		}
-		findings = append(findings, Finding{
-			File: file, Line: p.Line, Col: p.Column,
-			Rule: rule, Msg: fmt.Sprintf(format, args...),
-		})
+// relFile maps an absolute source path to the root-relative form used
+// in findings.
+func (c *checker) relFile(abs string) string {
+	if rel, err := filepath.Rel(c.root, abs); err == nil {
+		return filepath.ToSlash(rel)
 	}
-
-	if c.contract {
-		for _, imp := range f.Imports {
-			p, err := strconv.Unquote(imp.Path.Value)
-			if err != nil {
-				continue
-			}
-			if p == "math/rand" || p == "math/rand/v2" {
-				emit(imp.Pos(), RuleMathRand,
-					"core package %s imports %q: pseudo-random data belongs in workloads with fixed seeds", c.pkg, p)
-			}
-		}
-	}
-
-	ast.Inspect(f, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.GoStmt:
-			if c.pkg != goroutinePkg {
-				emit(n.Pos(), RuleGoroutine,
-					"goroutine spawned outside %s: route concurrency through the audited worker pool", goroutinePkg)
-			}
-		case *ast.RangeStmt:
-			if c.contract && c.isMapRange(n.X) {
-				emit(n.Pos(), RuleMapRange,
-					"range over map in core package %s: iteration order is randomized, iterate sorted keys instead", c.pkg)
-			}
-		case *ast.SelectorExpr:
-			if c.contract && c.isTimePkg(n.X) && wallClockFuncs[n.Sel.Name] {
-				emit(n.Pos(), RuleWallClock,
-					"time.%s in core package %s: simulated time must come from the cycle counter", n.Sel.Name, c.pkg)
-			}
-			if c.search && c.isRandPkg(n.X) && !randCtors[n.Sel.Name] && !randTypes[n.Sel.Name] {
-				emit(n.Pos(), RuleRandGlobal,
-					"rand.%s draws from the process-global source: build a seeded *rand.Rand with rand.New(rand.NewSource(seed)) so search results replay", n.Sel.Name)
-			}
-		}
-		return true
-	})
-	return findings
+	return abs
 }
 
-// isMapRange reports whether expr has map type.
-func (c *checker) isMapRange(expr ast.Expr) bool {
-	tv, ok := c.info.Types[expr]
-	if !ok || tv.Type == nil {
-		return false
-	}
-	_, isMap := tv.Type.Underlying().(*types.Map)
-	return isMap
-}
-
-// isTimePkg reports whether expr is an identifier bound to the imported
-// "time" package (robust against renamed imports).
-func (c *checker) isTimePkg(expr ast.Expr) bool {
-	id, ok := expr.(*ast.Ident)
-	if !ok {
-		return false
-	}
-	if obj, ok := c.info.Uses[id]; ok {
-		if pn, ok := obj.(*types.PkgName); ok {
-			return pn.Imported().Path() == "time"
-		}
-		return false
-	}
-	// Fallback when type info is incomplete: match the bare name.
-	return id.Name == "time"
-}
-
-// isRandPkg reports whether expr is an identifier bound to an imported
-// math/rand package (robust against renamed imports; a *rand.Rand
-// variable resolves to a Var, not a PkgName, and is not matched).
-func (c *checker) isRandPkg(expr ast.Expr) bool {
-	id, ok := expr.(*ast.Ident)
-	if !ok {
-		return false
-	}
-	if obj, ok := c.info.Uses[id]; ok {
-		if pn, ok := obj.(*types.PkgName); ok {
-			p := pn.Imported().Path()
-			return p == "math/rand" || p == "math/rand/v2"
-		}
-		return false
-	}
-	// Fallback when type info is incomplete: match the bare name.
-	return id.Name == "rand"
-}
-
-func (c *checker) suppressed(line int, rule string) bool {
-	for _, r := range c.ignores[line] {
-		if r == rule {
-			return true
-		}
-	}
-	return false
-}
-
-// ignoreDirectives collects "//vltlint:ignore <rule>" comments. A
-// directive suppresses the rule on its own line and the line below, so
-// it works both trailing a statement and on the line above it.
-func ignoreDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
-	out := map[int][]string{}
+// collectIgnores gathers the file's "//vltlint:ignore <rule>" comments.
+// A directive suppresses the rule on its own line and the line below,
+// so it works both trailing a statement and on the line above it.
+func (c *checker) collectIgnores(f *ast.File) {
 	for _, cg := range f.Comments {
 		for _, cm := range cg.List {
 			text := strings.TrimPrefix(cm.Text, "//")
@@ -470,11 +425,193 @@ func ignoreDirectives(fset *token.FileSet, f *ast.File) map[int][]string {
 			if len(fields) == 0 {
 				continue
 			}
-			rule := fields[0]
-			line := fset.Position(cm.Pos()).Line
-			out[line] = append(out[line], rule)
-			out[line+1] = append(out[line+1], rule)
+			p := c.fset.Position(cm.Pos())
+			d := &directive{
+				rule: fields[0],
+				file: c.relFile(p.Filename),
+				line: p.Line,
+				col:  p.Column,
+			}
+			m := c.ignores[d.file]
+			if m == nil {
+				m = map[int][]*directive{}
+				c.ignores[d.file] = m
+			}
+			m[d.line] = append(m[d.line], d)
+			m[d.line+1] = append(m[d.line+1], d)
 		}
 	}
-	return out
+}
+
+// emit reports one finding unless an ignore directive covers it; a
+// matching directive is marked used either way.
+func (c *checker) emit(pos token.Pos, rule, format string, args ...any) {
+	p := c.fset.Position(pos)
+	file := c.relFile(p.Filename)
+	suppressed := false
+	for _, d := range c.ignores[file][p.Line] {
+		if d.rule == rule {
+			d.used = true
+			suppressed = true
+		}
+	}
+	if suppressed {
+		return
+	}
+	c.findings = append(c.findings, Finding{
+		File: file, Line: p.Line, Col: p.Column,
+		Rule: rule, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// checkUnusedIgnores flags every directive that suppressed nothing
+// across all passes of this package. It runs last; unused-ignore
+// findings cannot themselves be ignored (that would be a directive
+// whose only job is to keep another stale directive alive).
+func (c *checker) checkUnusedIgnores() {
+	var unused []*directive
+	seen := map[*directive]bool{}
+	for _, byLine := range c.ignores {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if !d.used && !seen[d] {
+					seen[d] = true
+					unused = append(unused, d)
+				}
+			}
+		}
+	}
+	sort.Slice(unused, func(i, j int) bool {
+		if unused[i].file != unused[j].file {
+			return unused[i].file < unused[j].file
+		}
+		return unused[i].line < unused[j].line
+	})
+	for _, d := range unused {
+		c.findings = append(c.findings, Finding{
+			File: d.file, Line: d.line, Col: d.col, Rule: RuleUnusedIgnore,
+			Msg: fmt.Sprintf("ignore directive for %q suppresses nothing; delete it", d.rule),
+		})
+	}
+}
+
+// checkFile applies the per-file determinism rules.
+func (c *checker) checkFile(f *ast.File) {
+	if c.contract {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == "math/rand" || p == "math/rand/v2" {
+				c.emit(imp.Pos(), RuleMathRand,
+					"core package %s imports %q: pseudo-random data belongs in workloads with fixed seeds", c.pkg, p)
+			}
+		}
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if c.pkg != goroutinePkg {
+				c.emit(n.Pos(), RuleGoroutine,
+					"goroutine spawned outside %s: route concurrency through the audited worker pool", goroutinePkg)
+			}
+		case *ast.RangeStmt:
+			if c.contract && c.isMapRange(n.X) {
+				c.emit(n.Pos(), RuleMapRange,
+					"range over map in core package %s: iteration order is randomized, iterate sorted keys instead", c.pkg)
+			}
+		case *ast.SelectorExpr:
+			if c.contract && c.isTimePkg(n.X) && wallClockFuncs[n.Sel.Name] {
+				c.emit(n.Pos(), RuleWallClock,
+					"time.%s in core package %s: simulated time must come from the cycle counter", n.Sel.Name, c.pkg)
+			}
+			if c.search && c.isRandPkg(n.X) && !randCtors[n.Sel.Name] && !randTypes[n.Sel.Name] {
+				c.emit(n.Pos(), RuleRandGlobal,
+					"rand.%s draws from the process-global source: build a seeded *rand.Rand with rand.New(rand.NewSource(seed)) so search results replay", n.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// exprType resolves an expression's type via the module-local type
+// info (nil when the lenient typecheck could not determine it).
+func (c *checker) exprType(e ast.Expr) types.Type {
+	if tv, ok := c.info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj, ok := c.info.Uses[id]; ok && obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// namedType unwraps pointers and reports the named type's name and
+// defining package path ("" when t is not a named type).
+func namedType(t types.Type) (name, pkg string) {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", ""
+	}
+	return obj.Name(), obj.Pkg().Path()
+}
+
+// isMapRange reports whether expr has map type.
+func (c *checker) isMapRange(expr ast.Expr) bool {
+	tv, ok := c.info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// isPkg reports whether expr is an identifier bound to the imported
+// package at path (robust against renamed imports). name is the
+// fallback match when type info is incomplete.
+func (c *checker) isPkg(expr ast.Expr, name string, paths ...string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := c.info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			p := pn.Imported().Path()
+			for _, want := range paths {
+				if p == want {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Fallback when type info is incomplete: match the bare name.
+	return id.Name == name
+}
+
+// isTimePkg reports whether expr is the imported "time" package.
+func (c *checker) isTimePkg(expr ast.Expr) bool {
+	return c.isPkg(expr, "time", "time")
+}
+
+// isRandPkg reports whether expr is an imported math/rand package (a
+// *rand.Rand variable resolves to a Var, not a PkgName, and is not
+// matched).
+func (c *checker) isRandPkg(expr ast.Expr) bool {
+	return c.isPkg(expr, "rand", "math/rand", "math/rand/v2")
 }

@@ -1,0 +1,218 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// statsStub is a minimal vlt/internal/stats for fixtures: the metrics
+// pass matches the *stats.Registry parameter type by package identity.
+const statsStub = `package stats
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string, p *uint64)           {}
+func (r *Registry) CounterFn(name string, f func() uint64)   {}
+func (r *Registry) Gauge(name string, f func() float64)      {}
+`
+
+// TestMetricsMissingRegistration: a uint64 counter field the
+// registration method never mentions is a finding at the field's
+// declaration.
+func TestMetricsMissingRegistration(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/stats.go": statsStub,
+		"internal/report/proxy.go": `package report
+
+import "vlt/internal/stats"
+
+type proxy struct {
+	accepted uint64
+	dropped  uint64
+}
+
+func (p *proxy) registerMetrics(r *stats.Registry) {
+	r.Counter("accepted", &p.accepted)
+}
+`,
+	})
+	fs := mustRun(t, root)
+	f, ok := findingAt(fs, RuleMetricsReg, "internal/report/proxy.go", 7)
+	if !ok {
+		t.Fatalf("missing metrics-registered finding: %v", fs)
+	}
+	if !strings.Contains(f.Msg, "counter field proxy.dropped is never registered") {
+		t.Errorf("unexpected message: %s", f.Msg)
+	}
+}
+
+// TestMetricsAllRegisteredClean: mentioning every counter (pointer
+// registration or closure read) satisfies the pass.
+func TestMetricsAllRegisteredClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/stats.go": statsStub,
+		"internal/report/proxy.go": `package report
+
+import "vlt/internal/stats"
+
+type proxy struct {
+	accepted uint64
+	dropped  uint64
+}
+
+func (p *proxy) registerMetrics(r *stats.Registry) {
+	r.Counter("accepted", &p.accepted)
+	r.CounterFn("dropped", func() uint64 { return p.dropped })
+}
+`,
+	})
+	if fs := mustRun(t, root); len(fs) != 0 {
+		t.Errorf("fully registered struct should be clean: %v", fs)
+	}
+}
+
+// TestMetricsExportedOnly: with an exported RegisterMetrics, unexported
+// uint64 fields are implementation state, not counters.
+func TestMetricsExportedOnly(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/stats.go": statsStub,
+		"internal/report/unit.go": `package report
+
+import "vlt/internal/stats"
+
+type Unit struct {
+	Fetched   uint64
+	Retired   uint64
+	stallWait uint64
+}
+
+func (u *Unit) RegisterMetrics(r *stats.Registry) {
+	r.Counter("fetched", &u.Fetched)
+	r.Counter("retired", &u.Retired)
+}
+`,
+	})
+	if fs := mustRun(t, root); len(fs) != 0 {
+		t.Errorf("unexported state under an exported registrar should be clean: %v", fs)
+	}
+}
+
+// TestMetricsExportedMissing: an exported counter missing from an
+// exported RegisterMetrics is still a finding.
+func TestMetricsExportedMissing(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/stats.go": statsStub,
+		"internal/report/unit.go": `package report
+
+import "vlt/internal/stats"
+
+type Unit struct {
+	Fetched uint64
+	Retired uint64
+}
+
+func (u *Unit) RegisterMetrics(r *stats.Registry) {
+	r.Counter("fetched", &u.Fetched)
+}
+`,
+	})
+	fs := mustRun(t, root)
+	if !hasRule(fs, RuleMetricsReg, "internal/report/unit.go", 7) {
+		t.Errorf("missing metrics-registered finding for Retired: %v", fs)
+	}
+}
+
+// TestMetricsNoRegistrarSkipped: a struct without a convention-named
+// registration method is not conscripted into the convention.
+func TestMetricsNoRegistrarSkipped(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/stats.go": statsStub,
+		"internal/report/state.go": `package report
+
+import "vlt/internal/stats"
+
+type engine struct {
+	progress uint64
+	total    uint64
+}
+
+func (e *engine) registerGuardMetrics(r *stats.Registry) {
+	r.Counter("progress", &e.progress)
+}
+`,
+	})
+	if fs := mustRun(t, root); len(fs) != 0 {
+		t.Errorf("struct without a convention registrar should be skipped: %v", fs)
+	}
+}
+
+// TestMetricsSplitRegistrars: a convention registrar makes the struct
+// subject, but mentions in any registry-taking helper count.
+func TestMetricsSplitRegistrars(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/stats.go": statsStub,
+		"internal/report/split.go": `package report
+
+import "vlt/internal/stats"
+
+type server struct {
+	requests uint64
+	stalls   uint64
+}
+
+func (s *server) registerMetrics(r *stats.Registry) {
+	r.Counter("requests", &s.requests)
+	s.registerGuardMetrics(r)
+}
+
+func (s *server) registerGuardMetrics(r *stats.Registry) {
+	r.Counter("stalls", &s.stalls)
+}
+`,
+	})
+	if fs := mustRun(t, root); len(fs) != 0 {
+		t.Errorf("split registrars should be clean: %v", fs)
+	}
+}
+
+// TestMetricsIgnoreDirective: the uniform ignore contract covers the
+// metrics pass, anchored at the field declaration.
+func TestMetricsIgnoreDirective(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/stats.go": statsStub,
+		"internal/report/proxy.go": `package report
+
+import "vlt/internal/stats"
+
+type proxy struct {
+	accepted uint64
+	//vltlint:ignore metrics-registered scratch counter, deliberately unexported from /metricsz
+	scratch uint64
+}
+
+func (p *proxy) registerMetrics(r *stats.Registry) {
+	r.Counter("accepted", &p.accepted)
+}
+`,
+	})
+	if fs := mustRun(t, root); len(fs) != 0 {
+		t.Errorf("directive should suppress the metrics finding: %v", fs)
+	}
+}
+
+// TestMetricsStatsPackageExempt: the registry implementation's own
+// uint64 fields are not counters to re-register.
+func TestMetricsStatsPackageExempt(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/stats/stats.go": statsStub + `
+type counter struct {
+	n uint64
+}
+
+func (c *counter) register(r *Registry) {}
+`,
+	})
+	if fs := mustRun(t, root); len(fs) != 0 {
+		t.Errorf("internal/stats must be exempt: %v", fs)
+	}
+}

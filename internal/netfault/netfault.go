@@ -116,17 +116,25 @@ func New(cfg Config) (*Proxy, error) {
 		conns: make(map[net.Conn]struct{}),
 	}
 	if cfg.Registry != nil {
-		cfg.Registry.Counter("accepted", &p.accepted)
-		cfg.Registry.Counter("forwarded", &p.forwarded)
-		cfg.Registry.Counter("drops", &p.drops)
-		cfg.Registry.Counter("delays", &p.delays)
-		cfg.Registry.Counter("injects", &p.injects)
-		cfg.Registry.Counter("resets", &p.resets)
-		cfg.Registry.Counter("truncates", &p.truncates)
-		cfg.Registry.Counter("upstream_fails", &p.upstreamFails)
+		p.registerMetrics(cfg.Registry)
 	}
 	p.g.Go("netfault.accept", p.acceptLoop)
 	return p, nil
+}
+
+// registerMetrics exposes the accept and fault counters. Every uint64
+// counter field on Proxy must appear here — the metrics-registered
+// lint pass cross-checks it. The fields are updated atomically, so
+// they register as plain counter pointers.
+func (p *Proxy) registerMetrics(r *stats.Registry) {
+	r.Counter("accepted", &p.accepted)
+	r.Counter("forwarded", &p.forwarded)
+	r.Counter("drops", &p.drops)
+	r.Counter("delays", &p.delays)
+	r.Counter("injects", &p.injects)
+	r.Counter("resets", &p.resets)
+	r.Counter("truncates", &p.truncates)
+	r.Counter("upstream_fails", &p.upstreamFails)
 }
 
 // Addr returns the proxy's listen address (host:port).

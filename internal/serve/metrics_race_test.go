@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"vlt/internal/api"
+)
+
+// TestMetricszDuringSweepRace hammers /metricsz while sweeps are
+// streaming. The registry's counter closures snapshot mu-guarded
+// fields (Server.requests, the cache occupancy) that the sweep path
+// mutates concurrently; the closures must take the lock themselves —
+// the "lock-taking closure" invariant the lock-discipline lint pass
+// encodes — or the race detector fails this test. Run under -race to
+// pin it (scripts/check.sh does).
+func TestMetricszDuringSweepRace(t *testing.T) {
+	s := fakeServer(Config{Jobs: 4})
+	req := api.SweepRequest{
+		Workloads: []string{"mxm", "sage", "mpenc"},
+		Machines:  []string{"base", "CMT"},
+		Scales:    []int{1, 2},
+	}
+
+	var sweeping atomic.Bool
+	sweeping.Store(true)
+
+	var scrapers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for sweeping.Load() {
+				if rec := get(t, s, "/metricsz"); rec.Code != 200 {
+					t.Errorf("/metricsz under sweep load: status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+
+	var sweeps sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		sweeps.Add(1)
+		go func() {
+			defer sweeps.Done()
+			_, cells, trailer := postSweep(t, s, req)
+			if trailer == nil || !trailer.Done || len(cells) != len(req.Cells()) {
+				t.Errorf("sweep under metrics load lost cells: %d lines, trailer %+v", len(cells), trailer)
+			}
+		}()
+	}
+	sweeps.Wait()
+
+	// A few more scrapes race against the sweeps' final counter writes
+	// having just completed, then release the scraper loops.
+	for i := 0; i < 50; i++ {
+		get(t, s, "/metricsz")
+	}
+	sweeping.Store(false)
+	scrapers.Wait()
+}

@@ -93,6 +93,8 @@ func (b *breaker) failure() {
 }
 
 // trip opens the breaker (callers hold the lock).
+//
+//vltlint:heldby mu
 func (b *breaker) trip() {
 	b.state = stateOpen
 	b.openedAt = b.now()
