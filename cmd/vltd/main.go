@@ -18,6 +18,7 @@ import (
 	"vlt/internal/report"
 	"vlt/internal/runner"
 	"vlt/internal/serve"
+	"vlt/internal/store"
 )
 
 func main() {
@@ -48,6 +49,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	timeout := fs.Duration("timeout", 60*time.Second, "default per-request wait deadline")
 	drain := fs.Duration("drain", 30*time.Second, "shutdown grace period for in-flight simulations")
 	peers := fs.String("peers", "", "comma-separated peer base URLs to shard sweep cells across")
+	storeDir := fs.String("store", "", "persistent result store directory (empty = memory cache only)")
+	storeBytes := fs.Int64("store-bytes", 256<<20, "persistent store byte budget")
+	warm := fs.Bool("warm", false, "hold readiness until the paper grid is promoted from -store into memory")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -55,6 +59,21 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		fmt.Fprintf(stderr, "vltd: unexpected argument %q\n", fs.Arg(0))
 		fs.Usage()
 		return 2
+	}
+	if *warm && *storeDir == "" {
+		fmt.Fprintln(stderr, "vltd: -warm needs -store DIR (warming promotes disk entries into memory)")
+		fs.Usage()
+		return 2
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, *storeBytes)
+		if err != nil {
+			fmt.Fprintln(stderr, "vltd:", err)
+			return 1
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -67,7 +86,12 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		MaxPending: *pending,
 		CacheBytes: *cacheBytes,
 		Timeout:    *timeout,
+		Store:      st,
 	})
+	if st != nil {
+		fmt.Fprintf(stdout, "vltd: store %s (%d entries, %d-byte budget)\n",
+			st.Dir(), st.Len(), *storeBytes)
+	}
 	if *peers != "" {
 		urls := strings.Split(*peers, ",")
 		for i, u := range urls {
@@ -78,10 +102,16 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			}
 			urls[i] = u
 		}
-		s.SetFleet(fleet.New(fleet.Config{
+		fcfg := fleet.Config{
 			Peers:    urls,
 			Registry: s.Registry().Scope("fleet"),
-		}))
+		}
+		if st != nil {
+			// A degraded node consults its persistent tier before
+			// re-simulating a peer-owned cell.
+			fcfg.Disk = st.Get
+		}
+		s.SetFleet(fleet.New(fcfg))
 		fmt.Fprintf(stdout, "vltd: fleet of %d peers: %s\n", len(urls), strings.Join(urls, ", "))
 	}
 	hs := &http.Server{Handler: s.Handler()}
@@ -89,12 +119,13 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 
 	sigc := make(chan os.Signal, 1)
 	signalNotify(sigc, os.Interrupt, syscall.SIGTERM)
-	// The serve goroutine and the signal waiter run under the audited
-	// pool's Parallel (the only sanctioned goroutine source). serveFailed
-	// releases the waiter if Serve dies on its own (e.g. listener error),
-	// so a startup failure never hangs the process.
+	// The serve goroutine, the signal waiter, and (with -warm) the cache
+	// warmer run under the audited pool's Parallel (the only sanctioned
+	// goroutine source). serveFailed releases the waiter if Serve dies on
+	// its own (e.g. listener error), so a startup failure never hangs the
+	// process.
 	serveFailed := make(chan struct{})
-	errs := runner.Parallel(
+	fns := []func() error{
 		func() error {
 			err := hs.Serve(ln)
 			close(serveFailed)
@@ -118,7 +149,20 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				return nil
 			}
 		},
-	)
+	}
+	if *warm {
+		// Readiness stays false while the paper grid promotes from disk
+		// into memory; the listener is already accepting, so /healthz
+		// answers (ready=1 says 503) but load balancers hold traffic.
+		s.SetReady(false)
+		fns = append(fns, func() error {
+			n := s.Warm()
+			s.SetReady(true)
+			fmt.Fprintf(stdout, "vltd: warmed %d cells from %s\n", n, *storeDir)
+			return nil
+		})
+	}
+	errs := runner.Parallel(fns...)
 	for _, err := range errs {
 		if err != nil {
 			fmt.Fprintln(stderr, "vltd:", err)

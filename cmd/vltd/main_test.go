@@ -45,6 +45,9 @@ func TestUsageErrors(t *testing.T) {
 	if code := run([]string{"-addr", "256.0.0.1:bad"}, &out, &errb); code != 1 {
 		t.Fatalf("unlistenable addr: exit %d, want 1", code)
 	}
+	if code := run([]string{"-warm"}, &out, &errb); code != 2 {
+		t.Fatalf("-warm without -store: exit %d, want 2", code)
+	}
 }
 
 // TestDaemonLifecycle boots the daemon on an ephemeral port, exercises
@@ -107,5 +110,90 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 	if s := out.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "shutdown complete") {
 		t.Fatalf("missing drain/shutdown lines in output:\n%s", s)
+	}
+}
+
+// bootDaemon starts run() with the given args and returns the base URL,
+// the injected signal channel, the exit-code channel and the output
+// buffer.
+func bootDaemon(t *testing.T, args []string, sigc chan chan<- os.Signal) (string, chan<- os.Signal, chan int, *syncBuffer) {
+	t.Helper()
+	out := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() { done <- run(args, out, out) }()
+	addrRE := regexp.MustCompile(`listening on (http://[^\s]+)`)
+	var url string
+	deadline := time.Now().Add(5 * time.Second)
+	for url == "" {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			url = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("no listen line; output=%q", out.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return url, <-sigc, done, out
+}
+
+// stopDaemon delivers the fake SIGTERM and waits for a clean exit.
+func stopDaemon(t *testing.T, sig chan<- os.Signal, done chan int, out *syncBuffer) {
+	t.Helper()
+	sig <- syscall.SIGTERM
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d; output=%q", code, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// TestStoreWarmRestart is the operator's restart story over real HTTP:
+// a daemon with -store renders one cell, restarts with -warm, reports
+// the warmed count before readiness, and serves the cell from memory
+// without re-simulating.
+func TestStoreWarmRestart(t *testing.T) {
+	sigc := make(chan chan<- os.Signal, 2)
+	signalNotify = func(c chan<- os.Signal, _ ...os.Signal) { sigc <- c }
+	defer func() { signalNotify = nil }()
+	dir := t.TempDir()
+
+	url, sig, done, out := bootDaemon(t, []string{"-addr", "127.0.0.1:0", "-store", dir}, sigc)
+	resp, err := http.Get(url + "/v1/run?workload=mxm&machine=base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-VLT-Cache") != "miss" {
+		t.Fatalf("first run: status %d, tier %q", resp.StatusCode, resp.Header.Get("X-VLT-Cache"))
+	}
+	stopDaemon(t, sig, done, out)
+
+	url, sig, done, out = bootDaemon(t, []string{"-addr", "127.0.0.1:0", "-store", dir, "-warm"}, sigc)
+	waitWarm := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "warmed") {
+		if time.Now().After(waitWarm) {
+			t.Fatalf("no warmed line; output=%q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err = http.Get(url + "/v1/run?workload=mxm&machine=base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-VLT-Cache") != "hit" {
+		t.Fatalf("warmed run: status %d, tier %q", resp.StatusCode, resp.Header.Get("X-VLT-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("warmed body differs from the pre-restart body")
+	}
+	stopDaemon(t, sig, done, out)
+	if s := out.String(); !strings.Contains(s, "0 simulations") {
+		t.Fatalf("warmed daemon simulated; shutdown line in %q", s)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"vlt/internal/store"
 )
 
 // benchGet issues one /v1/run request through the full handler stack
@@ -37,6 +39,27 @@ func BenchmarkServeCellHot(b *testing.B) {
 // the cache's value proposition; record both in results.txt.
 func BenchmarkServeCellCold(b *testing.B) {
 	s := New(Config{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.cache.Reset()
+		benchGet(b, s, benchTarget)
+	}
+}
+
+// BenchmarkServeCellDisk measures the middle tier: memory cache empty,
+// persistent store warm — one disk read, CRC verification and the
+// promotion into memory per request. This is the per-cell cost of a
+// restart served from -store, and the number that makes warm restarts
+// worthwhile: it should sit orders of magnitude under Cold and within
+// an order of magnitude of Hot.
+func BenchmarkServeCellDisk(b *testing.B) {
+	st, err := store.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{Store: st})
+	benchGet(b, s, benchTarget) // render once: fills memory and disk
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

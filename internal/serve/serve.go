@@ -19,6 +19,7 @@ import (
 	"vlt/internal/report"
 	"vlt/internal/runner"
 	"vlt/internal/stats"
+	"vlt/internal/store"
 	"vlt/internal/vet"
 	"vlt/internal/workloads"
 )
@@ -42,6 +43,13 @@ type Config struct {
 	Timeout time.Duration
 	// RetryAfter is the backoff hint sent with 429 responses (0 = 1s).
 	RetryAfter time.Duration
+	// Store, when non-nil, is the persistent result tier consulted
+	// between the memory cache and simulation: disk hits replay the
+	// stored bytes (X-VLT-Cache: disk) and promote into memory, and
+	// every freshly rendered body spills to it. The caller opens it
+	// (store.Open) so directory errors surface at startup, not per
+	// request.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +89,7 @@ type Fleet interface {
 type Server struct {
 	cfg    Config
 	cache  *cache
+	store  *store.Store // nil = no persistent tier
 	flight *runner.Flight[string, []byte]
 	reg    *stats.Registry
 	mux    *http.ServeMux
@@ -93,9 +102,10 @@ type Server struct {
 	ready    atomic.Bool
 	draining atomic.Bool
 
-	mu       sync.Mutex
-	requests uint64 // HTTP requests served, by endpoint outcome
-	failures uint64 // responses with a status >= 400
+	mu          sync.Mutex
+	requests    uint64 // HTTP requests served, by endpoint outcome
+	failures    uint64 // responses with a status >= 400
+	notModified uint64 // 304 revalidations (If-None-Match matched)
 
 	// Simulation and verification entry points, indirect so the test
 	// suite can substitute blocking or failing implementations to pin
@@ -113,6 +123,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		cache:   newCache(cfg.CacheBytes),
+		store:   cfg.Store,
 		flight:  runner.NewFlight[string, []byte](cfg.Jobs, cfg.MaxPending),
 		reg:     stats.New(),
 		mux:     http.NewServeMux(),
@@ -143,6 +154,9 @@ func New(cfg Config) *Server {
 func (s *Server) registerMetrics(r *stats.Registry) {
 	scope := r.Scope("serve")
 	s.cache.register(scope.Scope("cache"))
+	if s.store != nil {
+		s.store.Register(scope.Scope("store"))
+	}
 	flight := scope.Scope("flight")
 	flight.CounterFn("submitted", func() uint64 { return uint64(s.flight.Stats().Submitted) })
 	flight.CounterFn("coalesced", func() uint64 { return uint64(s.flight.Stats().Coalesced) })
@@ -152,6 +166,7 @@ func (s *Server) registerMetrics(r *stats.Registry) {
 	httpScope := scope.Scope("http")
 	httpScope.CounterFn("requests", func() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.requests })
 	httpScope.CounterFn("failures", func() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.failures })
+	httpScope.CounterFn("not_modified", func() uint64 { s.mu.Lock(); defer s.mu.Unlock(); return s.notModified })
 	scope.Gauge("uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
 	scope.Gauge("ready", func() float64 {
 		if s.Ready() {
@@ -186,6 +201,47 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Ready reports the readiness state: constructed, not draining.
 func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// Warm promotes every paper-grid key present in the persistent store
+// into the memory cache, so a restarted (or brand-new) node serves the
+// full grid at memory-hit cost from its first request. It returns the
+// number of cells promoted. Warming never simulates: a key absent from
+// disk stays cold until traffic asks for it. cmd/vltd calls this under
+// -warm with readiness held false, so load balancers only route here
+// once the grid is hot.
+func (s *Server) Warm() int {
+	if s.store == nil {
+		return 0
+	}
+	n := 0
+	for _, key := range warmKeys() {
+		if body, ok := s.store.Warm(key); ok {
+			s.cache.Put(key, body)
+			n++
+		}
+	}
+	return n
+}
+
+// warmKeys enumerates the paper grid's cache keys: every workload ×
+// machine cell at default options, plus every experiment driver at
+// scale 1. Invalid combinations (a vector workload on a scalar-only
+// machine) never produced a cacheable body, so their absence from disk
+// makes them free to include.
+func warmKeys() []string {
+	var keys []string
+	for _, w := range vlt.Workloads() {
+		for _, m := range vlt.Machines() {
+			if key, err := vlt.CellKey(w, m, vlt.Options{}); err == nil {
+				keys = append(keys, key)
+			}
+		}
+	}
+	for _, name := range experimentNames() {
+		keys = append(keys, experimentKey(name, 1))
+	}
+	return keys
+}
 
 // apiError pairs the wire error envelope (internal/api) with the HTTP
 // status it travels under. statusClientGone is the sentinel for "the
@@ -235,36 +291,67 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	s.count(http.StatusOK)
 }
 
+// Cache-tier labels carried by the X-VLT-Cache header: which tier
+// produced the response body (the bytes are identical regardless —
+// that is the cache's contract).
+const (
+	tierMemory = "hit"  // in-memory LRU
+	tierDisk   = "disk" // persistent store (promoted to memory on the way)
+	tierMiss   = "miss" // freshly simulated
+)
+
 // writeBody sends a cached or freshly rendered response body, labelling
-// the cache outcome in a header (the body itself is byte-identical
+// the producing tier in a header (the body itself is byte-identical
 // either way — that is the cache's contract).
-func (s *Server) writeBody(w http.ResponseWriter, body []byte, cached bool) {
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, tier string) {
 	w.Header().Set("Content-Type", "application/json")
-	if cached {
-		w.Header().Set("X-VLT-Cache", "hit")
-	} else {
-		w.Header().Set("X-VLT-Cache", "miss")
-	}
+	w.Header().Set("X-VLT-Cache", tier)
 	w.Write(body)
 	s.count(http.StatusOK)
 }
 
-// computeKeyed is the admission path of the single-response endpoints:
-// response-cache lookup, an optional pre-admission check on the miss
-// path (the run path vets the program there), single-flight coalescing,
-// load shedding at the pending bound, and a deadline on the wait (never
-// on the execution — an abandoned job still completes and populates the
-// cache). The sweep stream's per-cell path (submitCell) shares the same
-// cache, flight group and error mapping but blocks at the admission
-// bound instead of shedding.
-func (s *Server) computeKeyed(ctx context.Context, key string, d time.Duration,
-	precheck func() *apiError, render func() ([]byte, error)) (body []byte, cached bool, aerr *apiError) {
+// lookup consults the read tiers in order: memory, then (when
+// configured) the persistent store. A disk hit is promoted into the
+// memory cache, so the next request for the key is a memory hit.
+func (s *Server) lookup(key string) (body []byte, tier string, ok bool) {
 	if body, ok := s.cache.Get(key); ok {
-		return body, true, nil
+		return body, tierMemory, true
+	}
+	if s.store != nil {
+		if body, ok := s.store.Get(key); ok {
+			s.cache.Put(key, body)
+			return body, tierDisk, true
+		}
+	}
+	return nil, "", false
+}
+
+// fill lands one freshly rendered body in every cache tier. The store
+// write is best-effort: a failing disk costs restart warmth, never the
+// response (the write_fails counter records it).
+func (s *Server) fill(key string, body []byte) {
+	s.cache.Put(key, body)
+	if s.store != nil {
+		s.store.Put(key, body)
+	}
+}
+
+// computeKeyed is the admission path of the single-response endpoints:
+// tiered cache lookup (memory, then disk), an optional pre-admission
+// check on the miss path (the run path vets the program there),
+// single-flight coalescing, load shedding at the pending bound, and a
+// deadline on the wait (never on the execution — an abandoned job still
+// completes and populates the cache tiers). The sweep stream's per-cell
+// path (submitCell) shares the same tiers, flight group and error
+// mapping but blocks at the admission bound instead of shedding.
+func (s *Server) computeKeyed(ctx context.Context, key string, d time.Duration,
+	precheck func() *apiError, render func() ([]byte, error)) (body []byte, tier string, aerr *apiError) {
+	if body, tier, ok := s.lookup(key); ok {
+		return body, tier, nil
 	}
 	if precheck != nil {
 		if e := precheck(); e != nil {
-			return nil, false, e
+			return nil, "", e
 		}
 	}
 	task, _, admitted := s.flight.TrySubmit(key, func() ([]byte, error) {
@@ -272,20 +359,20 @@ func (s *Server) computeKeyed(ctx context.Context, key string, d time.Duration,
 		if err != nil {
 			return nil, err
 		}
-		s.cache.Put(key, body)
+		s.fill(key, body)
 		return body, nil
 	})
 	if !admitted {
-		return nil, false, &apiError{status: http.StatusTooManyRequests,
+		return nil, "", &apiError{status: http.StatusTooManyRequests,
 			Error: api.Error{Code: api.CodeOverloaded,
 				Message: fmt.Sprintf("at capacity: %d requests in flight; retry after %ds",
 					s.flight.Inflight(), s.retryAfterSeconds())}}
 	}
 	body, err := task.WaitContext(ctx)
 	if err != nil {
-		return nil, false, s.waitError(err, d)
+		return nil, "", s.waitError(err, d)
 	}
-	return body, false, nil
+	return body, tierMiss, nil
 }
 
 // waitError maps a failed flight wait onto the typed envelope.
@@ -307,21 +394,52 @@ func (s *Server) waitError(err error, d time.Duration) *apiError {
 }
 
 // serveKeyed wraps computeKeyed with HTTP response writing for the
-// single-response endpoints (/v1/run, /v1/experiment).
+// single-response endpoints (/v1/run, /v1/experiment), including the
+// conditional-request fast path: the key's strong ETag is its store
+// fingerprint (format version ⊕ key), so an If-None-Match match proves
+// the client already holds the exact bytes this content-addressed cell
+// can ever produce at this version — 304, no lookup, no simulation. A
+// format bump changes the fingerprint and the stale tag re-serves a
+// full 200.
 func (s *Server) serveKeyed(w http.ResponseWriter, r *http.Request, key string,
 	precheck func() *apiError, render func() ([]byte, error)) {
+	etag := store.ETag(key)
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatch(match, etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		s.mu.Lock()
+		s.requests++
+		s.notModified++
+		s.mu.Unlock()
+		return
+	}
 	d := s.timeout(r)
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
-	body, cached, aerr := s.computeKeyed(ctx, key, d, precheck, render)
+	body, tier, aerr := s.computeKeyed(ctx, key, d, precheck, render)
 	switch {
 	case aerr == nil:
-		s.writeBody(w, body, cached)
+		w.Header().Set("ETag", etag)
+		s.writeBody(w, body, tier)
 	case aerr.status == statusClientGone:
 		s.count(http.StatusGatewayTimeout)
 	default:
 		s.writeError(w, *aerr)
 	}
+}
+
+// etagMatch implements If-None-Match comparison against one strong
+// entity tag: a comma-separated tag list, the wildcard, and clients
+// that replay the tag in weak form all revalidate.
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // timeout resolves a request's wait deadline: the server default,
@@ -445,6 +563,12 @@ type ExperimentResponse struct {
 	Text  string `json:"text"`
 }
 
+// experimentKey is the cache key of one /v1/experiment result — like a
+// cell key, it fully addresses the content (driver name and scale).
+func experimentKey(name string, scale int) string {
+	return fmt.Sprintf("experiment|%s|scale=%d", name, scale)
+}
+
 // experimentNames lists the figure/table drivers servable by name,
 // sorted (also the order reported on a bad name).
 func experimentNames() []string {
@@ -527,7 +651,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		}
 		scale = n
 	}
-	key := fmt.Sprintf("experiment|%s|scale=%d", name, scale)
+	key := experimentKey(name, scale)
 	s.serveKeyed(w, r, key, nil, func() ([]byte, error) {
 		data, text, err := driver(vlt.NewEngine(s.cfg.Jobs), scale)
 		if err != nil {

@@ -189,7 +189,7 @@ func (s *Server) submitCell(ctx context.Context, key string, c RunRequest, d tim
 		local := render
 		render = func() ([]byte, error) { return fl.Compute(ctx, key, c, local) }
 	}
-	if body, ok := s.cache.Get(key); ok {
+	if body, _, ok := s.lookup(key); ok {
 		f.body = body
 		return f
 	}
@@ -202,7 +202,7 @@ func (s *Server) submitCell(ctx context.Context, key string, c RunRequest, d tim
 		if err != nil {
 			return nil, err
 		}
-		s.cache.Put(key, body)
+		s.fill(key, body)
 		return body, nil
 	}
 	task, _, admitted := s.flight.TrySubmit(key, job)

@@ -1,0 +1,25 @@
+// Package store is the durable, content-addressed result store behind
+// the serving layer's in-memory response cache: rendered JSON bodies
+// spilled to a flat directory of files, each named by the versioned
+// fingerprint of its cache key (FormatVersion ⊕ key, hashed). Because
+// a key is a content address — vlt.CellKey fingerprints the full
+// resolved cell — an entry can never be stale within one format
+// version, and bumping FormatVersion invalidates every entry at once
+// by changing every filename.
+//
+// The durability discipline is write-then-rename: Put stages the entry
+// in a temp file, fsyncs, and renames it into place, so a crash leaves
+// either no entry or a complete one. Reads verify a CRC-32 over the
+// body plus the embedded key; anything that fails is quarantined
+// (renamed *.corrupt) and reported as a plain miss — disk rot degrades
+// to one re-simulation, never an error. A byte-budget janitor mirrors
+// the in-memory LRU's accounting and evicts least-recently-used entry
+// files, and Open rebuilds the recency order from modification times,
+// sweeps crash leftovers, and deletes stale-version entries.
+//
+// The store also owns the fingerprint/ETag derivation (Fingerprint,
+// ETag): the serving layer's strong entity tags are exactly the store
+// fingerprints, which is what makes If-None-Match revalidation answer
+// 304 for as long as a cell's bytes cannot have changed and 200 again
+// after a format bump.
+package store

@@ -146,40 +146,91 @@ printf '%s\n' "$vs_out" | grep -q '"simulated": '
 printf '%s\n' "$vs_out" | grep -q '"verified": true'
 printf '%s\n' "$vs_out" | grep -q '"cycles"'
 
-echo "== vltd smoke (boot on an ephemeral port, healthz + one run, drained exit)"
+echo "== vltd smoke (boot with a temp -store, restart serves from disk, ETag revalidates)"
 go build -o /tmp/vltd.check ./cmd/vltd
-/tmp/vltd.check -addr 127.0.0.1:0 >/tmp/vltd.check.out 2>&1 &
-vltd_pid=$!
-vltd_url=""
-for _ in $(seq 1 100); do
-    vltd_url=$(sed -n 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p' /tmp/vltd.check.out)
-    [ -n "$vltd_url" ] && break
-    sleep 0.05
-done
-if [ -z "$vltd_url" ]; then
-    echo "vltd smoke: daemon never printed its listen line" >&2
-    cat /tmp/vltd.check.out >&2
-    kill "$vltd_pid" 2>/dev/null || true
-    exit 1
-fi
+vltd_store=$(mktemp -d /tmp/vltd.store.XXXXXX)
+vltd_pid=""
+vltd_cleanup() {
+    [ -n "$vltd_pid" ] && kill "$vltd_pid" 2>/dev/null || true
+    rm -rf "$vltd_store"
+}
+trap vltd_cleanup EXIT
+
+# vltd_boot [extra flags...]: boot one daemon, set vltd_pid and vltd_url.
+vltd_boot() {
+    /tmp/vltd.check -addr 127.0.0.1:0 -store "$vltd_store" "$@" >/tmp/vltd.check.out 2>&1 &
+    vltd_pid=$!
+    vltd_url=""
+    for _ in $(seq 1 100); do
+        vltd_url=$(sed -n 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p' /tmp/vltd.check.out)
+        [ -n "$vltd_url" ] && break
+        sleep 0.05
+    done
+    if [ -z "$vltd_url" ]; then
+        echo "vltd smoke: daemon never printed its listen line" >&2
+        cat /tmp/vltd.check.out >&2
+        exit 1
+    fi
+}
+
+# vltd_stop: drained SIGTERM exit, shutdown line present.
+vltd_stop() {
+    kill -TERM "$vltd_pid"
+    if ! wait "$vltd_pid"; then
+        echo "vltd smoke: daemon did not exit cleanly on SIGTERM" >&2
+        cat /tmp/vltd.check.out >&2
+        exit 1
+    fi
+    vltd_pid=""
+    grep -q "shutdown complete" /tmp/vltd.check.out
+}
+
+# Boot 1: cold store, one simulated cell spills to disk.
+vltd_boot
 curl -fsS "$vltd_url/healthz" | grep -q '"status":"ok"'
 curl -fsS "$vltd_url/healthz?ready=1" | grep -q '"status":"ready"'
 curl -fsS "$vltd_url/v1/run?workload=mxm&machine=base" | grep -q '"cycles"'
-kill -TERM "$vltd_pid"
-if ! wait "$vltd_pid"; then
-    echo "vltd smoke: daemon did not exit cleanly on SIGTERM" >&2
-    cat /tmp/vltd.check.out >&2
+vltd_stop
+
+# Boot 2: fresh process, empty memory cache — the store must answer
+# without re-simulating, and its ETag must revalidate to a 304.
+vltd_boot
+run_headers=$(curl -fsSi "$vltd_url/v1/run?workload=mxm&machine=base")
+printf '%s\n' "$run_headers" | grep -qi 'X-VLT-Cache: disk'
+printf '%s\n' "$run_headers" | grep -q '"cycles"'
+etag=$(printf '%s\n' "$run_headers" | tr -d '\r' | sed -n 's/^[Ee][Tt]ag: //p')
+if [ -z "$etag" ]; then
+    echo "vltd smoke: run response carried no ETag" >&2
     exit 1
 fi
-grep -q "shutdown complete" /tmp/vltd.check.out
+curl -fsSi -H "If-None-Match: $etag" "$vltd_url/v1/run?workload=mxm&machine=base" \
+    | grep -q '304 Not Modified'
+vltd_stop
+
+# Boot 3: -warm promotes the stored cell before readiness; it then
+# serves from memory.
+vltd_boot -warm
+for _ in $(seq 1 100); do
+    grep -q "warmed" /tmp/vltd.check.out && break
+    sleep 0.05
+done
+grep -q "warmed" /tmp/vltd.check.out
+curl -fsSi "$vltd_url/v1/run?workload=mxm&machine=base" | grep -qi 'X-VLT-Cache: hit'
+vltd_stop
+
+trap - EXIT
+rm -rf "$vltd_store"
 rm -f /tmp/vltd.check.out
 
 echo "== chaos smoke (two vltd nodes, netfault proxy at ~20% faults, sweep loses no cells)"
 go build -o /tmp/vltfault.check ./cmd/vltfault
 go build -o /tmp/vltsweep.check ./cmd/vltsweep
 chaos_pids=()
+chaos_store_peer=$(mktemp -d /tmp/vltd.chaos.peer.XXXXXX)
+chaos_store_coord=$(mktemp -d /tmp/vltd.chaos.coord.XXXXXX)
 chaos_cleanup() {
     for p in "${chaos_pids[@]}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$chaos_store_peer" "$chaos_store_coord"
 }
 trap chaos_cleanup EXIT
 
@@ -199,7 +250,7 @@ scrape_line() {
     printf '%s' "$out"
 }
 
-/tmp/vltd.check -addr 127.0.0.1:0 >/tmp/vltd.peer.out 2>&1 &
+/tmp/vltd.check -addr 127.0.0.1:0 -store "$chaos_store_peer" >/tmp/vltd.peer.out 2>&1 &
 chaos_pids+=($!)
 peer_url=$(scrape_line /tmp/vltd.peer.out 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p')
 
@@ -208,7 +259,8 @@ peer_url=$(scrape_line /tmp/vltd.peer.out 's/.*listening on \(http:\/\/[^ ]*\).*
 chaos_pids+=($!)
 proxy_addr=$(scrape_line /tmp/vltfault.check.out 's/.*proxying \([^ ]*\) ->.*/\1/p')
 
-/tmp/vltd.check -addr 127.0.0.1:0 -peers "http://$proxy_addr" >/tmp/vltd.coord.out 2>&1 &
+/tmp/vltd.check -addr 127.0.0.1:0 -peers "http://$proxy_addr" -store "$chaos_store_coord" \
+    >/tmp/vltd.coord.out 2>&1 &
 chaos_pids+=($!)
 coord_url=$(scrape_line /tmp/vltd.coord.out 's/.*listening on \(http:\/\/[^ ]*\).*/\1/p')
 grep -q "fleet of 1 peers" /tmp/vltd.coord.out
@@ -230,6 +282,7 @@ for p in "${chaos_pids[@]}"; do
 done
 chaos_pids=()
 trap - EXIT
+rm -rf "$chaos_store_peer" "$chaos_store_coord"
 for f in /tmp/vltd.peer.out /tmp/vltfault.check.out /tmp/vltd.coord.out; do
     grep -q "shutdown complete" "$f"
 done
